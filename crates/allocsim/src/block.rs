@@ -1,0 +1,263 @@
+//! Block headers.
+//!
+//! Every block handed out by the pool models is preceded by a 32-byte header
+//! carrying the metadata real allocators keep in page maps or radix trees:
+//! which *bin* the block belongs to (arena / central list / page — "the heap
+//! to which it should be returned", paper §3.2 fn. 2), its size class, an
+//! intrusive free-list link, and a 64-bit **birth era** slot that the
+//! era-based SMR schemes (HE, IBR, WFE) stamp at allocation time.
+
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Byte value debug builds write over freed user memory.
+pub const POISON: u8 = 0xDE;
+
+/// Header preceding each block's user memory. 32 bytes, 16-aligned.
+#[repr(C, align(16))]
+pub struct BlockHeader {
+    /// Owning bin: arena index (Je), size-class index (Tc), page id (Mi),
+    /// or `u32::MAX` (Sys).
+    pub owner: u32,
+    /// Size class index of the block.
+    pub class: u32,
+    /// Intrusive free-list link. Interpreted under the owning bin's lock in
+    /// Je/Tc, and as a lock-free Treiber-stack link in Mi's cross-thread
+    /// free list (hence atomic).
+    pub next: AtomicUsize,
+    /// Birth era stamped by era-based SMR schemes; untouched by the
+    /// allocator models themselves except for zeroing on alloc.
+    pub birth_era: AtomicU64,
+    _pad: u64,
+}
+
+/// Size of the block header in bytes.
+pub const HEADER_SIZE: usize = std::mem::size_of::<BlockHeader>();
+
+const _: () = assert!(HEADER_SIZE == 32);
+
+impl BlockHeader {
+    /// Writes a fresh header in place.
+    ///
+    /// # Safety
+    /// `hdr` must point to `HEADER_SIZE` writable bytes aligned to 16.
+    pub unsafe fn init(hdr: *mut BlockHeader, owner: u32, class: u32) {
+        // SAFETY: caller guarantees validity and alignment.
+        unsafe {
+            hdr.write(BlockHeader {
+                owner,
+                class,
+                next: AtomicUsize::new(0),
+                birth_era: AtomicU64::new(0),
+                _pad: 0,
+            });
+        }
+    }
+
+    /// Recovers the header pointer from a user pointer.
+    ///
+    /// # Safety
+    /// `user` must have been produced by one of this crate's pool models
+    /// (i.e. be preceded by a valid header).
+    #[inline]
+    pub unsafe fn from_user(user: NonNull<u8>) -> &'static BlockHeader {
+        // SAFETY: models lay out [header][user]; caller guarantees origin.
+        unsafe { &*(user.as_ptr().sub(HEADER_SIZE) as *const BlockHeader) }
+    }
+
+    /// The user pointer for this header.
+    #[inline]
+    pub fn user_ptr(&self) -> NonNull<u8> {
+        // SAFETY: headers always precede a user area; the sum is non-null.
+        unsafe { NonNull::new_unchecked((self as *const BlockHeader as *mut u8).add(HEADER_SIZE)) }
+    }
+
+    /// Header address as an integer key (free-list encoding).
+    #[inline]
+    pub fn addr(&self) -> usize {
+        self as *const BlockHeader as usize
+    }
+}
+
+/// Stamps the SMR birth era of a block.
+///
+/// # Safety
+/// `user` must be a live block from one of this crate's pool models.
+#[inline]
+pub unsafe fn set_birth_era(user: NonNull<u8>, era: u64) {
+    // SAFETY: forwarded to caller.
+    unsafe { BlockHeader::from_user(user) }.birth_era.store(era, Ordering::Release);
+}
+
+/// Reads the SMR birth era of a block.
+///
+/// # Safety
+/// `user` must be a live block from one of this crate's pool models.
+#[inline]
+pub unsafe fn birth_era(user: NonNull<u8>) -> u64 {
+    // SAFETY: forwarded to caller.
+    unsafe { BlockHeader::from_user(user) }.birth_era.load(Ordering::Acquire)
+}
+
+/// An intrusive singly-linked free list of blocks, threaded through
+/// [`BlockHeader::next`]. **Not** thread-safe: callers hold the owning bin's
+/// lock (Je/Tc) or have exclusive ownership (thread caches, Mi local lists).
+#[derive(Debug, Default)]
+pub struct FreeList {
+    head: usize,
+    len: usize,
+}
+
+impl FreeList {
+    /// An empty list.
+    pub const fn new() -> Self {
+        FreeList { head: 0, len: 0 }
+    }
+
+    /// Number of blocks on the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no blocks are on the list.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes a block.
+    ///
+    /// # Safety
+    /// `hdr` must be a valid, exclusively-owned block header not currently
+    /// on any list.
+    #[inline]
+    pub unsafe fn push(&mut self, hdr: &BlockHeader) {
+        hdr.next.store(self.head, Ordering::Relaxed);
+        self.head = hdr.addr();
+        self.len += 1;
+    }
+
+    /// Pops a block, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<&'static BlockHeader> {
+        if self.head == 0 {
+            return None;
+        }
+        // SAFETY: `head` was stored by `push` from a valid header and the
+        // list owner has exclusive access.
+        let hdr = unsafe { &*(self.head as *const BlockHeader) };
+        self.head = hdr.next.load(Ordering::Relaxed);
+        self.len -= 1;
+        Some(hdr)
+    }
+
+    /// Takes an entire chained list (from a Treiber-stack swap) and adopts
+    /// it, counting its length.
+    ///
+    /// # Safety
+    /// `head` must be the head of a valid, exclusively-owned chain.
+    pub unsafe fn adopt_chain(&mut self, head: usize) {
+        let mut cursor = head;
+        while cursor != 0 {
+            // SAFETY: chain validity guaranteed by caller.
+            let hdr = unsafe { &*(cursor as *const BlockHeader) };
+            let next = hdr.next.load(Ordering::Relaxed);
+            // SAFETY: hdr is exclusively ours now.
+            unsafe { self.push(hdr) };
+            cursor = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::alloc::{alloc, dealloc, Layout};
+
+    fn raw_block() -> (*mut u8, Layout) {
+        let layout = Layout::from_size_align(HEADER_SIZE + 64, 16).unwrap();
+        // SAFETY: valid layout.
+        let p = unsafe { alloc(layout) };
+        assert!(!p.is_null());
+        (p, layout)
+    }
+
+    #[test]
+    fn header_user_roundtrip() {
+        let (p, layout) = raw_block();
+        // SAFETY: p is valid for the header.
+        unsafe { BlockHeader::init(p as *mut BlockHeader, 3, 5) };
+        // SAFETY: p points at an initialized header.
+        let hdr = unsafe { &*(p as *const BlockHeader) };
+        let user = hdr.user_ptr();
+        // SAFETY: user came from a model-style layout.
+        let hdr2 = unsafe { BlockHeader::from_user(user) };
+        assert_eq!(hdr2.owner, 3);
+        assert_eq!(hdr2.class, 5);
+        assert!(std::ptr::eq(hdr, hdr2));
+        // SAFETY: allocated above with the same layout.
+        unsafe { dealloc(p, layout) };
+    }
+
+    #[test]
+    fn birth_era_accessors() {
+        let (p, layout) = raw_block();
+        // SAFETY: as above.
+        unsafe {
+            BlockHeader::init(p as *mut BlockHeader, 0, 0);
+            let user = (*(p as *const BlockHeader)).user_ptr();
+            set_birth_era(user, 42);
+            assert_eq!(birth_era(user), 42);
+            dealloc(p, layout);
+        }
+    }
+
+    #[test]
+    fn freelist_lifo_order() {
+        let blocks: Vec<(*mut u8, Layout)> = (0..3).map(|_| raw_block()).collect();
+        let mut list = FreeList::new();
+        for (i, &(p, _)) in blocks.iter().enumerate() {
+            // SAFETY: valid fresh blocks.
+            unsafe {
+                BlockHeader::init(p as *mut BlockHeader, i as u32, 0);
+                list.push(&*(p as *const BlockHeader));
+            }
+        }
+        assert_eq!(list.len(), 3);
+        let owners: Vec<u32> = std::iter::from_fn(|| list.pop().map(|h| h.owner)).collect();
+        assert_eq!(owners, vec![2, 1, 0], "LIFO order");
+        assert!(list.is_empty());
+        assert!(list.pop().is_none());
+        for (p, layout) in blocks {
+            // SAFETY: allocated in this test.
+            unsafe { dealloc(p, layout) };
+        }
+    }
+
+    #[test]
+    fn adopt_chain_counts() {
+        let blocks: Vec<(*mut u8, Layout)> = (0..4).map(|_| raw_block()).collect();
+        // Build a manual chain: b0 -> b1 -> b2 -> b3 -> null.
+        for (i, &(p, _)) in blocks.iter().enumerate() {
+            // SAFETY: fresh blocks.
+            unsafe { BlockHeader::init(p as *mut BlockHeader, i as u32, 0) };
+        }
+        for w in blocks.windows(2) {
+            // SAFETY: initialized above.
+            let (a, b) = unsafe { (&*(w[0].0 as *const BlockHeader), &*(w[1].0 as *const BlockHeader)) };
+            a.next.store(b.addr(), Ordering::Relaxed);
+        }
+        // SAFETY: last block terminates the chain.
+        unsafe { &*(blocks[3].0 as *const BlockHeader) }.next.store(0, Ordering::Relaxed);
+
+        let mut list = FreeList::new();
+        // SAFETY: chain is valid and exclusively ours.
+        unsafe { list.adopt_chain(blocks[0].0 as usize) };
+        assert_eq!(list.len(), 4);
+        for (p, layout) in blocks {
+            // SAFETY: allocated in this test.
+            unsafe { dealloc(p, layout) };
+        }
+    }
+}

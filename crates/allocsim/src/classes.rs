@@ -1,0 +1,81 @@
+//! Size-class table.
+//!
+//! A condensed version of jemalloc's small size classes, covering the node
+//! sizes the paper's data structures allocate: 64 B (OCC tree nodes), 240 B
+//! (ABtree nodes) and everything in between. Requests above the largest
+//! class are unsupported (the workloads never make them) and panic loudly.
+
+/// The user-visible size of each class, ascending.
+pub const CLASS_SIZES: [usize; 16] =
+    [16, 32, 48, 64, 80, 96, 128, 160, 192, 256, 320, 384, 512, 1024, 2048, 4096];
+
+/// Number of size classes.
+pub const NUM_CLASSES: usize = CLASS_SIZES.len();
+
+/// Largest allocation the pool models serve.
+pub const MAX_SIZE: usize = CLASS_SIZES[NUM_CLASSES - 1];
+
+/// Maps a byte size to its class index (smallest class ≥ `size`).
+///
+/// # Panics
+/// If `size` is 0 or exceeds [`MAX_SIZE`].
+#[inline]
+pub fn class_of(size: usize) -> usize {
+    assert!(size > 0, "zero-size allocation");
+    // Linear scan: 16 entries, branch-predicted, and callers cache the
+    // result per node type anyway.
+    for (i, &c) in CLASS_SIZES.iter().enumerate() {
+        if size <= c {
+            return i;
+        }
+    }
+    panic!("allocation of {size} bytes exceeds max size class {MAX_SIZE}");
+}
+
+/// The byte size served by class `class`.
+#[inline]
+pub fn size_of_class(class: usize) -> usize {
+    CLASS_SIZES[class]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_sorted_and_unique() {
+        for w in CLASS_SIZES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn class_of_exact_and_between() {
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(16), 0);
+        assert_eq!(class_of(17), 1);
+        assert_eq!(class_of(64), 3);
+        // The ABtree's 240-byte node lands in the 256 class.
+        assert_eq!(size_of_class(class_of(240)), 256);
+        assert_eq!(class_of(MAX_SIZE), NUM_CLASSES - 1);
+    }
+
+    #[test]
+    fn class_roundtrip() {
+        for c in 0..NUM_CLASSES {
+            assert_eq!(class_of(size_of_class(c)), c);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max size class")]
+    fn oversized_panics() {
+        class_of(MAX_SIZE + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-size")]
+    fn zero_panics() {
+        class_of(0);
+    }
+}

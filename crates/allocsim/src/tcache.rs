@@ -1,0 +1,202 @@
+//! Thread caches: the bounded per-thread free buffers at the heart of the
+//! RBF problem.
+//!
+//! jemalloc and tcmalloc both keep, per thread and per size class, a bounded
+//! LIFO of recently-freed blocks. Allocation pops the newest entry (warm in
+//! cache); free pushes. When a push overflows the bound, the *oldest* ~3/4
+//! of the buffer is flushed to the backing bin. The paper's whole point is
+//! that freeing a large batch overflows this buffer repeatedly, while
+//! amortized freeing lets allocations drain it between frees.
+
+use crate::block::BlockHeader;
+use crate::classes::NUM_CLASSES;
+use std::collections::VecDeque;
+
+/// Default capacity of each (thread, size-class) cache bin.
+///
+/// jemalloc's default for small bins is 200 slots; we keep that. The
+/// ablation bench sweeps this.
+pub const DEFAULT_TCACHE_CAP: usize = 200;
+
+/// Numerator/denominator of the flushed fraction (jemalloc flushes ~3/4,
+/// keeping the newest 1/4).
+pub const FLUSH_NUM: usize = 3;
+/// See [`FLUSH_NUM`].
+pub const FLUSH_DEN: usize = 4;
+
+/// One thread's cache: a bin per size class.
+pub struct ThreadCache {
+    bins: [VecDeque<&'static BlockHeader>; NUM_CLASSES],
+    cap: usize,
+}
+
+impl ThreadCache {
+    /// Creates an empty cache with per-bin capacity `cap`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= FLUSH_DEN, "cache capacity too small to flush fractionally");
+        ThreadCache {
+            bins: std::array::from_fn(|_| VecDeque::with_capacity(cap + 1)),
+            cap,
+        }
+    }
+
+    /// Per-bin capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Pops the most recently freed block of `class`, if any (LIFO: the
+    /// warmest block).
+    #[inline]
+    pub fn pop(&mut self, class: usize) -> Option<&'static BlockHeader> {
+        self.bins[class].pop_back()
+    }
+
+    /// Pushes a freed block. Returns `true` if the bin now exceeds capacity
+    /// and must be flushed.
+    #[inline]
+    pub fn push(&mut self, class: usize, hdr: &'static BlockHeader) -> bool {
+        let bin = &mut self.bins[class];
+        bin.push_back(hdr);
+        bin.len() > self.cap
+    }
+
+    /// Pushes a refilled block *without* triggering overflow (refills are
+    /// bounded below capacity by construction).
+    #[inline]
+    pub fn push_refill(&mut self, class: usize, hdr: &'static BlockHeader) {
+        self.bins[class].push_back(hdr);
+    }
+
+    /// Current occupancy of a bin.
+    pub fn len(&self, class: usize) -> usize {
+        self.bins[class].len()
+    }
+
+    /// True if every bin is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bins.iter().all(|b| b.is_empty())
+    }
+
+    /// Drains the oldest `FLUSH_NUM/FLUSH_DEN` of the bin into `out`
+    /// (jemalloc's flush shape: keep the newest quarter).
+    pub fn drain_flush(&mut self, class: usize, out: &mut Vec<&'static BlockHeader>) {
+        let bin = &mut self.bins[class];
+        let flush_n = bin.len() * FLUSH_NUM / FLUSH_DEN;
+        out.extend(bin.drain(..flush_n));
+    }
+
+    /// Drains only the oldest `n` blocks into `out` — the *gradual* flush
+    /// of the incremental jemalloc variant ([`crate::JeModel`] with a
+    /// flush quantum): tiny critical sections instead of one long sweep.
+    pub fn drain_n(&mut self, class: usize, n: usize, out: &mut Vec<&'static BlockHeader>) {
+        let bin = &mut self.bins[class];
+        let flush_n = n.min(bin.len());
+        out.extend(bin.drain(..flush_n));
+    }
+
+    /// Drains *everything* from every bin (trial teardown).
+    pub fn drain_all(&mut self, out: &mut Vec<&'static BlockHeader>) {
+        for bin in &mut self.bins {
+            out.extend(bin.drain(..));
+        }
+    }
+}
+
+pub use epic_util::tidslots::TidSlots;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::HEADER_SIZE;
+    use std::alloc::{alloc, Layout};
+
+    fn header(owner: u32) -> &'static BlockHeader {
+        let layout = Layout::from_size_align(HEADER_SIZE + 16, 16).unwrap();
+        // Deliberately leaked: tests need 'static headers.
+        // SAFETY: fresh allocation, correct layout.
+        unsafe {
+            let p = alloc(layout);
+            BlockHeader::init(p as *mut BlockHeader, owner, 0);
+            &*(p as *const BlockHeader)
+        }
+    }
+
+    #[test]
+    fn lifo_pop_order() {
+        let mut tc = ThreadCache::new(8);
+        let a = header(1);
+        let b = header(2);
+        assert!(!tc.push(0, a));
+        assert!(!tc.push(0, b));
+        assert_eq!(tc.pop(0).unwrap().owner, 2, "newest first");
+        assert_eq!(tc.pop(0).unwrap().owner, 1);
+        assert!(tc.pop(0).is_none());
+    }
+
+    #[test]
+    fn overflow_signals_at_cap() {
+        let mut tc = ThreadCache::new(4);
+        for i in 0..4 {
+            assert!(!tc.push(0, header(i)), "push {i} under cap must not overflow");
+        }
+        assert!(tc.push(0, header(99)), "push past cap must signal flush");
+    }
+
+    #[test]
+    fn drain_flush_takes_oldest_three_quarters() {
+        let mut tc = ThreadCache::new(8);
+        for i in 0..8 {
+            tc.push(0, header(i));
+        }
+        let mut out = Vec::new();
+        tc.drain_flush(0, &mut out);
+        assert_eq!(out.len(), 6, "3/4 of 8");
+        let owners: Vec<u32> = out.iter().map(|h| h.owner).collect();
+        assert_eq!(owners, vec![0, 1, 2, 3, 4, 5], "oldest first");
+        assert_eq!(tc.len(0), 2, "newest quarter kept");
+        // Remaining pops give the newest blocks.
+        assert_eq!(tc.pop(0).unwrap().owner, 7);
+    }
+
+    #[test]
+    fn drain_n_takes_oldest_quantum() {
+        let mut tc = ThreadCache::new(8);
+        for i in 0..8 {
+            tc.push(0, header(i));
+        }
+        let mut out = Vec::new();
+        tc.drain_n(0, 3, &mut out);
+        let owners: Vec<u32> = out.iter().map(|h| h.owner).collect();
+        assert_eq!(owners, vec![0, 1, 2], "oldest first, exactly n");
+        assert_eq!(tc.len(0), 5);
+        // Asking for more than available drains what exists.
+        out.clear();
+        tc.drain_n(0, 100, &mut out);
+        assert_eq!(out.len(), 5);
+        assert_eq!(tc.len(0), 0);
+    }
+
+    #[test]
+    fn drain_all_empties() {
+        let mut tc = ThreadCache::new(8);
+        tc.push(0, header(0));
+        tc.push(3, header(1));
+        let mut out = Vec::new();
+        tc.drain_all(&mut out);
+        assert_eq!(out.len(), 2);
+        assert!(tc.is_empty());
+    }
+
+    #[test]
+    fn tid_slots_isolated() {
+        let slots: TidSlots<u64> = TidSlots::new_with(4, |i| i as u64 * 10);
+        // SAFETY: single-threaded test; each tid touched once.
+        unsafe {
+            *slots.get_mut(2) += 1;
+            assert_eq!(*slots.get_mut(2), 21);
+            assert_eq!(*slots.get_mut(0), 0);
+        }
+        assert_eq!(slots.len(), 4);
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `ablation_af_drain_rate` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench ablation_af_drain_rate`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::ablation_af_drain_rate();
+}

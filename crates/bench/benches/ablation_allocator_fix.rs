@@ -1,0 +1,7 @@
+//! Regenerates the `ablation_allocator_fix` artifact: the incremental-
+//! flush jemalloc variant (the paper's footnote-3 future work). See
+//! DESIGN.md §5. Run with `cargo bench --bench ablation_allocator_fix`.
+
+fn main() {
+    epic_harness::experiments::ablation_allocator_fix();
+}

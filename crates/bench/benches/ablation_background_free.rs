@@ -1,0 +1,6 @@
+//! Regenerates the `ablation_background_free` ablation (DESIGN.md §5). Run with
+//! `cargo bench --bench ablation_background_free`.
+
+fn main() {
+    epic_harness::experiments::ablation_background_free();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `ablation_bag_cap` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench ablation_bag_cap`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::ablation_bag_cap();
+}

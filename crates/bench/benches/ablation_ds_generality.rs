@@ -1,0 +1,8 @@
+//! Regenerates the `ablation_ds_generality` artifact: ORIG vs AF across
+//! all four data structures (including the Harris–Michael list, beyond the
+//! paper's evaluation). See DESIGN.md §5. Run with
+//! `cargo bench --bench ablation_ds_generality`.
+
+fn main() {
+    epic_harness::experiments::ablation_ds_generality();
+}

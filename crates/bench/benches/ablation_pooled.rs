@@ -1,0 +1,7 @@
+//! Regenerates the `ablation_pooled` artifact: batch vs amortized vs
+//! pooled freeing (the §3.3/footnote-4 road not taken). See DESIGN.md §5.
+//! Run with `cargo bench --bench ablation_pooled`.
+
+fn main() {
+    epic_harness::experiments::ablation_pooled();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `ablation_stalled_thread` ablation (DESIGN.md §5). Run with
+//! `cargo bench --bench ablation_stalled_thread`.
+
+fn main() {
+    epic_harness::experiments::ablation_stalled_thread();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `ablation_update_ratio` ablation (DESIGN.md §5). Run with
+//! `cargo bench --bench ablation_update_ratio`.
+
+fn main() {
+    epic_harness::experiments::ablation_update_ratio();
+}

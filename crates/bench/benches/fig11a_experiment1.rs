@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `fig11a_experiment1` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench fig11a_experiment1`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::fig11a_experiment1();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `fig12_orig_vs_af_sweep` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench fig12_orig_vs_af_sweep`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::fig12_orig_vs_af_sweep();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `fig13_dgt_orig_vs_af` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench fig13_dgt_orig_vs_af`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::fig13_dgt_orig_vs_af();
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `fig15_16_machine_presets` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench fig15_16_machine_presets`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::fig15_16_machine_presets();
+}

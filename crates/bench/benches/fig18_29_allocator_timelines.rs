@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `fig18_29_allocator_timelines` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench fig18_29_allocator_timelines`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::fig18_29_allocator_timelines();
+}

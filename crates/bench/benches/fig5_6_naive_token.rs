@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `fig5_6_naive_token` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench fig5_6_naive_token`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::fig5_6_naive_token();
+}

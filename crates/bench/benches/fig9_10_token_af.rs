@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `fig9_10_token_af` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench fig9_10_token_af`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::fig9_10_token_af();
+}

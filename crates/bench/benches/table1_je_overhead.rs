@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `table1_je_overhead` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench table1_je_overhead`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::table1_je_overhead();
+}

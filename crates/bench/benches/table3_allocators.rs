@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `table3_allocators` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench table3_allocators`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::table3_allocators();
+}

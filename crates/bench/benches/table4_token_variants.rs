@@ -1,0 +1,7 @@
+//! Regenerates the paper artifact `table4_token_variants` (see DESIGN.md §4 for the
+//! experiment index). Run with `cargo bench --bench table4_token_variants`; scale with
+//! `EPIC_MILLIS` / `EPIC_TRIALS` / `EPIC_THREADS` / `EPIC_KEYRANGE`.
+
+fn main() {
+    epic_harness::experiments::table4_token_variants();
+}

@@ -1,0 +1,9 @@
+//! # epic-bench
+//!
+//! Benchmark targets regenerating every table and figure of the paper
+//! (DESIGN.md §4 maps each `[[bench]]` target to its artifact), plus a
+//! criterion microbenchmark suite (`microbench`) for the building blocks:
+//! allocator fast paths, SMR per-operation overheads, and tree operations.
+//!
+//! All experiment benches honor the `EPIC_*` environment variables
+//! documented in `epic-harness`.

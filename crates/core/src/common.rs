@@ -1,0 +1,520 @@
+//! Machinery shared by every scheme: batch disposal (batch vs amortized),
+//! timeline instrumentation, garbage sampling.
+
+use crate::config::{FreeMode, SmrConfig};
+use crate::freebuf::{FreeBuffer, PoolBins};
+use crate::retired::Retired;
+use crate::smr_stats::SmrStats;
+
+use epic_alloc::{PoolAllocator, Tid};
+use epic_timeline::EventKind;
+use epic_util::{now_ns, TidSlots};
+use std::ptr::NonNull;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Work sent to the background reclaimer thread.
+enum BgMsg {
+    /// A safe batch to free.
+    Batch(Vec<Retired>),
+    /// Flush barrier: ack once everything sent before it is freed.
+    Sync(mpsc::Sender<()>),
+}
+
+/// The background reclaimer of [`FreeMode::Background`].
+struct BgReclaimer {
+    sender: mpsc::Sender<BgMsg>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Shared state embedded in every scheme.
+pub struct SchemeCommon {
+    /// The allocator retired objects are freed through.
+    pub alloc: Arc<dyn PoolAllocator>,
+    /// Scheme configuration.
+    pub cfg: SmrConfig,
+    /// Counters (one extra slot for the background reclaimer's tid).
+    pub stats: SmrStats,
+    freebufs: TidSlots<FreeBuffer>,
+    pools: TidSlots<PoolBins>,
+    bg: Option<BgReclaimer>,
+}
+
+impl SchemeCommon {
+    /// Builds the shared state.
+    pub fn new(alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Self {
+        let n = cfg.max_threads;
+        // Stats get one extra slot so the background reclaimer (tid == n)
+        // has somewhere to account its frees.
+        let stats = SmrStats::new(n + 1);
+        let bg = matches!(cfg.mode, FreeMode::Background).then(|| {
+            let (sender, receiver) = mpsc::channel::<BgMsg>();
+            let alloc = Arc::clone(&alloc);
+            // The reclaimer frees through its OWN tid (n), hence its own
+            // thread cache: the caller must have built the allocator for
+            // n + 1 tids. Its batch frees overflow that cache exactly like
+            // a worker's would — which is the §6 point.
+            let handle = std::thread::Builder::new()
+                .name("epic-smr-bg-reclaimer".into())
+                .spawn(move || {
+                    let bg_tid = n;
+                    while let Ok(msg) = receiver.recv() {
+                        match msg {
+                            BgMsg::Batch(batch) => {
+                                for r in batch {
+                                    alloc.dealloc(bg_tid, r.ptr);
+                                }
+                            }
+                            BgMsg::Sync(ack) => {
+                                let _ = ack.send(());
+                            }
+                        }
+                    }
+                })
+                .expect("spawn background reclaimer");
+            BgReclaimer {
+                sender,
+                handle: Some(handle),
+            }
+        });
+        SchemeCommon {
+            alloc,
+            cfg,
+            stats,
+            freebufs: TidSlots::new_with(n, |_| FreeBuffer::new()),
+            pools: TidSlots::new_with(n, |_| PoolBins::new()),
+            bg,
+        }
+    }
+
+    /// Number of participating threads.
+    #[inline]
+    pub fn n_threads(&self) -> usize {
+        self.cfg.max_threads
+    }
+
+    /// Disposes of a batch that has just been proven *safe to free*,
+    /// according to the configured [`FreeMode`]. The batch vector is left
+    /// empty (reusable).
+    pub fn dispose(&self, tid: Tid, batch: &mut Vec<Retired>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.stats.get(tid).on_batch();
+        match self.cfg.mode {
+            FreeMode::Batch => self.free_batch_now(tid, batch),
+            FreeMode::Amortized { .. } => {
+                // SAFETY: tid-exclusivity contract.
+                let buf = unsafe { self.freebufs.get_mut(tid) };
+                buf.absorb(batch);
+            }
+            FreeMode::Pooled => {
+                // SAFETY: tid-exclusivity contract; batch pointers are live
+                // blocks of `self.alloc` (retire contract).
+                unsafe { self.pools.get_mut(tid).absorb(batch) };
+            }
+            FreeMode::Background => {
+                let bg = self.bg.as_ref().expect("Background mode spawns a reclaimer");
+                let n = batch.len() as u64;
+                // Freed-count accounting happens here (sender side) so the
+                // garbage gauge stays single-writer per tid; the actual
+                // dealloc time lands on the background thread's core.
+                let sent: Vec<Retired> = std::mem::take(batch);
+                if bg.sender.send(BgMsg::Batch(sent)).is_ok() {
+                    self.stats.get(tid).on_free(n);
+                }
+            }
+        }
+    }
+
+    /// Frees a whole batch immediately, recording one `BatchFree` timeline
+    /// event covering it (the boxes of Fig. 2) plus per-call events when
+    /// enabled (Fig. 3 / Fig. 17).
+    pub fn free_batch_now(&self, tid: Tid, batch: &mut Vec<Retired>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len() as u64;
+        let t0 = now_ns();
+        for r in batch.drain(..) {
+            self.dealloc_recorded(tid, r);
+        }
+        let t1 = now_ns();
+        let c = self.stats.get(tid);
+        c.on_free(n);
+        c.add_free_ns(t1 - t0);
+        self.cfg.recorder.record(tid, EventKind::BatchFree, t0, t1, n);
+    }
+
+    /// The amortized drain. Schemes call this from `on_alloc` — freeing is
+    /// coupled to *allocation*, which is the §7 guidance ("amortized
+    /// freeing will be most effective if the number of objects freed and
+    /// allocated per operation is similar") made exact: every block that
+    /// leaves the thread cache is replaced by one from the freeable list,
+    /// so the cache level stays flat and flushes never trigger. No-op in
+    /// batch mode or when the freeable list is empty.
+    #[inline]
+    pub fn tick(&self, tid: Tid) {
+        let per_op = match self.cfg.mode {
+            FreeMode::Amortized { per_op } => per_op,
+            FreeMode::Batch | FreeMode::Background | FreeMode::Pooled => return,
+        };
+        self.drain_n(tid, per_op);
+    }
+
+    /// Pool allocation ([`FreeMode::Pooled`]): serves `size` bytes from the
+    /// thread's object pool if a block of the matching size class is
+    /// available. `None` in every other mode (or on a pool miss) — the
+    /// caller then allocates normally.
+    #[inline]
+    pub fn pool_alloc(&self, tid: Tid, size: usize) -> Option<NonNull<u8>> {
+        if self.cfg.mode != FreeMode::Pooled {
+            return None;
+        }
+        // SAFETY: tid-exclusivity contract.
+        let pool = unsafe { self.pools.get_mut(tid) };
+        let r = pool.pop_for(size)?;
+        self.stats.get(tid).on_pool_hit();
+        Some(r.ptr)
+    }
+
+    /// The backlog relief valve, called from `begin_op`: the alloc-coupled
+    /// drain services the freeable list at exactly its arrival rate, so
+    /// any burst would otherwise persist forever (a ρ = 1 queue). When the
+    /// backlog exceeds `af_backlog_cap`, drain extra objects per operation
+    /// until it is back under the cap.
+    #[inline]
+    pub fn relief(&self, tid: Tid) {
+        let per_op = match self.cfg.mode {
+            FreeMode::Amortized { per_op } => per_op,
+            FreeMode::Pooled => {
+                // A pool that outgrows the backlog cap holds memory the
+                // allocator can never reuse elsewhere; bleed the excess
+                // back one object per operation.
+                // SAFETY: tid-exclusivity contract.
+                let pool = unsafe { self.pools.get_mut(tid) };
+                if pool.len() > self.cfg.af_backlog_cap {
+                    let mut excess = pool.take_excess(1);
+                    self.free_batch_now(tid, &mut excess);
+                }
+                return;
+            }
+            FreeMode::Batch | FreeMode::Background => return,
+        };
+        // SAFETY: tid-exclusivity contract (len read of own slot).
+        let backlog = unsafe { self.freebufs.peek(tid).len() };
+        if backlog > self.cfg.af_backlog_cap {
+            self.drain_n(tid, per_op);
+        }
+    }
+
+    /// Drains up to `n` objects from `tid`'s freeable list.
+    #[inline]
+    fn drain_n(&self, tid: Tid, n: usize) {
+        // SAFETY: tid-exclusivity contract.
+        let buf = unsafe { self.freebufs.get_mut(tid) };
+        if buf.is_empty() {
+            return;
+        }
+        let t0 = now_ns();
+        let mut freed = 0u64;
+        for r in buf.take(n) {
+            freed += 1;
+            // Inlined dealloc_recorded to keep the borrow of `buf` simple.
+            self.dealloc_one(tid, r);
+        }
+        let t1 = now_ns();
+        let c = self.stats.get(tid);
+        c.on_free(freed);
+        c.add_free_ns(t1 - t0);
+    }
+
+    /// Frees one retired object. When per-call recording is enabled, the
+    /// call's latency goes into the per-thread histogram (Fig. 3 /
+    /// Appendix F percentiles) and, if long enough, into the timeline as an
+    /// individual `FreeCall` event.
+    #[inline]
+    fn dealloc_one(&self, tid: Tid, r: Retired) {
+        if self.cfg.free_call_record_ns != u64::MAX {
+            let t0 = now_ns();
+            self.alloc.dealloc(tid, r.ptr);
+            let t1 = now_ns();
+            self.stats.record_free_latency(tid, t1 - t0);
+            if t1 - t0 >= self.cfg.free_call_record_ns {
+                self.cfg
+                    .recorder
+                    .record(tid, EventKind::FreeCall, t0, t1, r.addr() as u64 & 0xFFFF_FFFF);
+            }
+        } else {
+            self.alloc.dealloc(tid, r.ptr);
+        }
+    }
+
+    /// Like [`dealloc_one`](Self::dealloc_one) (separate name so batch and
+    /// tick paths read clearly at call sites).
+    #[inline]
+    fn dealloc_recorded(&self, tid: Tid, r: Retired) {
+        self.dealloc_one(tid, r);
+    }
+
+    /// Current length of `tid`'s freeable list.
+    pub fn freebuf_len(&self, tid: Tid) -> usize {
+        // SAFETY: teardown/reporting convention (racy read tolerated).
+        unsafe { self.freebufs.peek(tid).len() }
+    }
+
+    /// Current size of `tid`'s object pool ([`FreeMode::Pooled`]).
+    pub fn pool_len(&self, tid: Tid) -> usize {
+        // SAFETY: teardown/reporting convention (racy read tolerated).
+        unsafe { self.pools.peek(tid).len() }
+    }
+
+    /// Teardown: frees everything in `tid`'s freeable list and object pool
+    /// immediately.
+    pub fn drain_freebuf(&self, tid: Tid) {
+        // SAFETY: callers guarantee quiescence (trait contract of
+        // `quiesce_and_drain`).
+        let buf = unsafe { self.freebufs.get_mut(tid) };
+        let mut all: Vec<Retired> = buf.take(usize::MAX).collect();
+        self.free_batch_now(tid, &mut all);
+        // SAFETY: quiescence, as above.
+        let mut pooled = unsafe { self.pools.get_mut(tid) }.drain_all();
+        self.free_batch_now(tid, &mut pooled);
+    }
+
+    /// Records an epoch advance: blue-dot timeline event, epoch counter,
+    /// garbage-series sample, peak watermark.
+    pub fn record_epoch_advance(&self, tid: Tid, new_epoch: u64) {
+        self.stats.epochs.fetch_add(1, Ordering::Relaxed);
+        self.cfg.recorder.mark(tid, EventKind::EpochAdvance, new_epoch);
+        let garbage = self.stats.observe_garbage();
+        if let Some(series) = &self.cfg.garbage_series {
+            series.push(new_epoch as f64, garbage as f64);
+        }
+    }
+
+    /// Scheme name helper: base plus free-mode suffix.
+    pub fn scheme_name(&self, base: &str) -> String {
+        format!("{}{}", base, self.cfg.mode.suffix())
+    }
+
+    /// Background mode: blocks until the reclaimer has freed everything
+    /// sent so far (used by `quiesce_and_drain` for deterministic
+    /// teardown). No-op in other modes.
+    pub fn sync_background(&self) {
+        if let Some(bg) = &self.bg {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            if bg.sender.send(BgMsg::Sync(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
+            }
+        }
+    }
+}
+
+impl Drop for SchemeCommon {
+    fn drop(&mut self) {
+        if let Some(bg) = &mut self.bg {
+            // Closing the channel ends the reclaimer's recv loop.
+            let (closed_tx, _) = mpsc::channel();
+            let _ = std::mem::replace(&mut bg.sender, closed_tx);
+            if let Some(h) = bg.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_alloc::{build_allocator, AllocatorKind, CostModel};
+    use epic_timeline::{Recorder, Series};
+
+    fn common(mode: FreeMode) -> SchemeCommon {
+        let alloc = build_allocator(AllocatorKind::Sys, 2, CostModel::zero());
+        let cfg = SmrConfig::new(2)
+            .with_mode(mode)
+            .with_recorder(Arc::new(Recorder::new(2, 128)))
+            .with_garbage_series(Arc::new(Series::new("g")));
+        SchemeCommon::new(alloc, cfg)
+    }
+
+    fn make_batch(c: &SchemeCommon, tid: Tid, n: usize) -> Vec<Retired> {
+        (0..n)
+            .map(|_| {
+                let p = c.alloc.alloc(tid, 64);
+                c.stats.get(tid).on_retire(1);
+                Retired::new(p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_mode_frees_immediately() {
+        let c = common(FreeMode::Batch);
+        let mut batch = make_batch(&c, 0, 10);
+        c.dispose(0, &mut batch);
+        assert!(batch.is_empty());
+        let snap = c.stats.snapshot();
+        assert_eq!(snap.freed, 10);
+        assert_eq!(snap.garbage, 0);
+        // One BatchFree event recorded.
+        let events = c.cfg.recorder.events(0);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind(), EventKind::BatchFree);
+        assert_eq!(events[0].value, 10);
+    }
+
+    #[test]
+    fn amortized_mode_queues_then_ticks() {
+        let c = common(FreeMode::Amortized { per_op: 3 });
+        let mut batch = make_batch(&c, 0, 10);
+        c.dispose(0, &mut batch);
+        assert_eq!(c.stats.snapshot().freed, 0, "nothing freed yet");
+        assert_eq!(c.freebuf_len(0), 10);
+        assert_eq!(c.stats.snapshot().garbage, 10, "queued objects are still garbage");
+
+        c.tick(0);
+        assert_eq!(c.stats.snapshot().freed, 3);
+        assert_eq!(c.freebuf_len(0), 7);
+        for _ in 0..3 {
+            c.tick(0);
+        }
+        assert_eq!(c.stats.snapshot().freed, 10);
+        assert_eq!(c.stats.snapshot().garbage, 0);
+        c.tick(0); // empty tick is harmless
+        assert_eq!(c.stats.snapshot().freed, 10);
+    }
+
+    #[test]
+    fn drain_freebuf_flushes_everything() {
+        let c = common(FreeMode::Amortized { per_op: 1 });
+        let mut batch = make_batch(&c, 1, 5);
+        c.dispose(1, &mut batch);
+        c.drain_freebuf(1);
+        assert_eq!(c.stats.snapshot().freed, 5);
+        assert_eq!(c.freebuf_len(1), 0);
+    }
+
+    #[test]
+    fn epoch_advance_samples_series() {
+        let c = common(FreeMode::Batch);
+        c.stats.get(0).on_retire(4);
+        c.record_epoch_advance(0, 1);
+        assert_eq!(c.stats.snapshot().epochs, 1);
+        assert_eq!(c.stats.snapshot().peak_garbage, 4);
+        let series = c.cfg.garbage_series.as_ref().unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series.sorted_points()[0], (1.0, 4.0));
+        // Blue dot recorded.
+        assert_eq!(c.cfg.recorder.events(0)[0].kind(), EventKind::EpochAdvance);
+        // Clean up gauge for hygiene.
+        c.stats.get(0).on_free(4);
+    }
+
+    #[test]
+    fn name_suffixes() {
+        assert_eq!(common(FreeMode::Batch).scheme_name("debra"), "debra");
+        assert_eq!(common(FreeMode::amortized()).scheme_name("debra"), "debra_af");
+        assert_eq!(common(FreeMode::Background).scheme_name("debra"), "debra_bg");
+    }
+
+    #[test]
+    fn background_mode_frees_on_reclaimer_thread() {
+        // Allocator sized max_threads + 1: tid 2 is the reclaimer's.
+        let alloc = build_allocator(AllocatorKind::Sys, 3, CostModel::zero());
+        let cfg = SmrConfig::new(2)
+            .with_mode(FreeMode::Background)
+            .with_recorder(Arc::new(Recorder::new(2, 128)));
+        let c = SchemeCommon::new(Arc::clone(&alloc), cfg);
+        let mut batch = make_batch(&c, 0, 20);
+        c.dispose(0, &mut batch);
+        assert!(batch.is_empty());
+        // Deterministic wait for the reclaimer.
+        c.sync_background();
+        let snap = c.stats.snapshot();
+        assert_eq!(snap.freed, 20);
+        assert_eq!(snap.garbage, 0);
+        // The deallocs happened under the reclaimer's tid (2), not tid 0.
+        assert_eq!(alloc.thread_stats(2).deallocs, 20);
+        assert_eq!(alloc.thread_stats(0).deallocs, 0);
+    }
+
+    #[test]
+    fn pooled_mode_recycles_matching_class() {
+        let c = common(FreeMode::Pooled);
+        // Retire a 64-byte block; it must come back for a 64-byte request
+        // but not for a 256-byte one.
+        let mut batch = make_batch(&c, 0, 1);
+        let retired_addr = batch[0].addr();
+        c.dispose(0, &mut batch);
+        assert_eq!(c.pool_len(0), 1);
+        assert!(c.pool_alloc(0, 256).is_none(), "class mismatch must miss");
+        let hit = c.pool_alloc(0, 64).expect("class match must hit");
+        assert_eq!(hit.as_ptr() as usize, retired_addr);
+        assert_eq!(c.pool_len(0), 0);
+        let snap = c.stats.snapshot();
+        assert_eq!(snap.pool_hits, 1);
+        assert_eq!(snap.freed, 1, "pool hit leaves the SMR system");
+        assert_eq!(snap.garbage, 0);
+        // The allocator never saw a dealloc: the block was recycled.
+        assert_eq!(c.alloc.snapshot().totals.deallocs, 0);
+        // Clean up: block is now "live" again; return it for hygiene.
+        c.alloc.dealloc(0, hit);
+    }
+
+    #[test]
+    fn pool_alloc_refuses_outside_pooled_mode() {
+        let c = common(FreeMode::amortized());
+        let mut batch = make_batch(&c, 0, 2);
+        c.dispose(0, &mut batch);
+        assert!(c.pool_alloc(0, 64).is_none(), "AF mode must not pool");
+        c.drain_freebuf(0);
+    }
+
+    #[test]
+    fn pooled_mode_drains_at_teardown() {
+        let c = common(FreeMode::Pooled);
+        let mut batch = make_batch(&c, 1, 5);
+        c.dispose(1, &mut batch);
+        assert_eq!(c.pool_len(1), 5);
+        c.drain_freebuf(1);
+        assert_eq!(c.pool_len(1), 0);
+        assert_eq!(c.stats.snapshot().freed, 5);
+        assert_eq!(c.alloc.snapshot().totals.deallocs, 5);
+    }
+
+    #[test]
+    fn pooled_relief_bleeds_excess() {
+        let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+        let mut cfg = SmrConfig::new(1).with_mode(FreeMode::Pooled);
+        cfg.af_backlog_cap = 4;
+        let c = SchemeCommon::new(alloc, cfg);
+        let mut batch = make_batch(&c, 0, 8);
+        c.dispose(0, &mut batch);
+        assert_eq!(c.pool_len(0), 8);
+        c.relief(0); // 8 > 4: one object returned to the allocator
+        assert_eq!(c.pool_len(0), 7);
+        assert_eq!(c.alloc.snapshot().totals.deallocs, 1);
+        c.relief(0);
+        c.relief(0);
+        c.relief(0); // down to the cap
+        assert_eq!(c.pool_len(0), 4);
+        c.relief(0); // at the cap: no further bleeding
+        assert_eq!(c.pool_len(0), 4);
+        c.drain_freebuf(0);
+    }
+
+    #[test]
+    fn background_mode_shutdown_joins_cleanly() {
+        let alloc = build_allocator(AllocatorKind::Sys, 3, CostModel::zero());
+        let cfg = SmrConfig::new(2).with_mode(FreeMode::Background);
+        let c = SchemeCommon::new(Arc::clone(&alloc), cfg);
+        let mut batch = make_batch(&c, 1, 5);
+        c.dispose(1, &mut batch);
+        c.sync_background();
+        drop(c); // must join without hanging
+        assert_eq!(alloc.snapshot().totals.deallocs, 5);
+    }
+}

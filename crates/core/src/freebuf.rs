@@ -1,0 +1,259 @@
+//! The per-thread freeable list of the Amortized Free technique, plus the
+//! per-size-class object pool of [`crate::FreeMode::Pooled`].
+//!
+//! §3.3: "once a batch of nodes has been identified as safe to free, one
+//! does not necessarily need to free them immediately as a batch. One could
+//! instead place the batch in a thread local *freeable list*, and gradually
+//! free objects one by one, each time a data structure operation is
+//! performed."
+//!
+//! [`FreeBuffer`] is deliberately **not** an object pool: the paper wants
+//! to show interaction with the allocator can be made fast, not avoided
+//! (§3.3 and footnote 4), so it only delays `dealloc` calls — it never
+//! serves allocations. [`PoolBins`] is the pooling alternative the paper
+//! declines (and footnote 4 credits for VBR's performance), implemented
+//! separately so the `ablation_pooled` bench can compare the two.
+
+use crate::retired::Retired;
+use epic_alloc::{class_of, BlockHeader, NUM_CLASSES};
+use std::collections::VecDeque;
+
+/// FIFO freeable list. FIFO matters: the oldest safe objects are freed
+/// first, bounding the staleness of any queued object.
+#[derive(Debug, Default)]
+pub struct FreeBuffer {
+    queue: VecDeque<Retired>,
+}
+
+impl FreeBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FreeBuffer {
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Queues an entire safe batch.
+    pub fn absorb(&mut self, batch: &mut Vec<Retired>) {
+        self.queue.extend(batch.drain(..));
+    }
+
+    /// Queues one object.
+    pub fn push(&mut self, r: Retired) {
+        self.queue.push_back(r);
+    }
+
+    /// Takes up to `n` of the oldest objects.
+    pub fn take(&mut self, n: usize) -> impl Iterator<Item = Retired> + '_ {
+        let n = n.min(self.queue.len());
+        self.queue.drain(..n)
+    }
+
+    /// Objects still queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// Per-size-class LIFO object pool ([`crate::FreeMode::Pooled`]).
+///
+/// LIFO because the most recently retired block is the warmest in cache —
+/// the same reason the allocators' thread caches pop newest-first.
+#[derive(Debug)]
+pub struct PoolBins {
+    bins: Box<[Vec<Retired>; NUM_CLASSES]>,
+    len: usize,
+}
+
+impl Default for PoolBins {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PoolBins {
+    /// An empty pool.
+    pub fn new() -> Self {
+        PoolBins {
+            bins: Box::new(std::array::from_fn(|_| Vec::new())),
+            len: 0,
+        }
+    }
+
+    /// Queues a safe batch, binned by each block's size class (read from
+    /// its header).
+    ///
+    /// # Safety
+    /// Every pointer in `batch` must be a live block from the scheme's
+    /// pool allocator (so its header is readable).
+    pub unsafe fn absorb(&mut self, batch: &mut Vec<Retired>) {
+        for r in batch.drain(..) {
+            // SAFETY: forwarded to caller.
+            let class = unsafe { BlockHeader::from_user(r.ptr) }.class as usize;
+            self.bins[class].push(r);
+            self.len += 1;
+        }
+    }
+
+    /// Pops the most recently pooled block that can serve a `size`-byte
+    /// allocation (exact class match — a smaller block would corrupt the
+    /// heap, a larger one would leak capacity).
+    pub fn pop_for(&mut self, size: usize) -> Option<Retired> {
+        let class = class_of(size);
+        let r = self.bins[class].pop();
+        self.len -= usize::from(r.is_some());
+        r
+    }
+
+    /// Takes up to `n` blocks (largest-bin first) for draining excess pool
+    /// memory back to the allocator.
+    pub fn take_excess(&mut self, n: usize) -> Vec<Retired> {
+        let mut out = Vec::with_capacity(n.min(self.len));
+        while out.len() < n {
+            let Some(bin) = self.bins.iter_mut().max_by_key(|b| b.len()) else { break };
+            match bin.pop() {
+                Some(r) => {
+                    self.len -= 1;
+                    out.push(r);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Drains the entire pool (teardown).
+    pub fn drain_all(&mut self) -> Vec<Retired> {
+        let mut out = Vec::with_capacity(self.len);
+        for bin in self.bins.iter_mut() {
+            out.append(bin);
+        }
+        self.len = 0;
+        out
+    }
+
+    /// Blocks currently pooled.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ptr::NonNull;
+
+    fn retired(tag: usize) -> Retired {
+        // Tests only compare addresses; fabricate distinct non-null values.
+        Retired::new(NonNull::new(tag as *mut u8).unwrap())
+    }
+
+    #[test]
+    fn absorb_then_drain_fifo() {
+        let mut buf = FreeBuffer::new();
+        let mut batch = vec![retired(1), retired(2), retired(3)];
+        buf.absorb(&mut batch);
+        assert!(batch.is_empty());
+        assert_eq!(buf.len(), 3);
+        let first: Vec<usize> = buf.take(2).map(|r| r.addr()).collect();
+        assert_eq!(first, vec![1, 2], "oldest first");
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn take_more_than_available() {
+        let mut buf = FreeBuffer::new();
+        buf.push(retired(9));
+        let got: Vec<usize> = buf.take(10).map(|r| r.addr()).collect();
+        assert_eq!(got, vec![9]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn take_zero_is_noop() {
+        let mut buf = FreeBuffer::new();
+        buf.push(retired(1));
+        assert_eq!(buf.take(0).count(), 0);
+        assert_eq!(buf.len(), 1);
+    }
+
+    mod pool_bins {
+        use super::super::PoolBins;
+        use crate::Retired;
+        use epic_alloc::{build_allocator, AllocatorKind, CostModel, PoolAllocator};
+        use std::sync::Arc;
+
+        fn alloc_batch(a: &Arc<dyn PoolAllocator>, sizes: &[usize]) -> Vec<Retired> {
+            sizes.iter().map(|&s| Retired::new(a.alloc(0, s))).collect()
+        }
+
+        fn free_all(a: &Arc<dyn PoolAllocator>, rs: impl IntoIterator<Item = Retired>) {
+            for r in rs {
+                a.dealloc(0, r.ptr);
+            }
+        }
+
+        #[test]
+        fn absorb_bins_by_class_and_pop_matches() {
+            let a = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+            let mut pool = PoolBins::new();
+            let mut batch = alloc_batch(&a, &[64, 240, 64, 100]);
+            let addrs: Vec<usize> = batch.iter().map(Retired::addr).collect();
+            // SAFETY: live blocks from `a`.
+            unsafe { pool.absorb(&mut batch) };
+            assert!(batch.is_empty());
+            assert_eq!(pool.len(), 4);
+            // 240 and 100 land in different classes (256 vs 128).
+            let hit = pool.pop_for(200).expect("the 240-byte block serves a 200-byte ask");
+            assert_eq!(hit.addr(), addrs[1]);
+            assert!(pool.pop_for(200).is_none(), "class 256 is now empty");
+            // LIFO within the 64-byte class.
+            assert_eq!(pool.pop_for(64).unwrap().addr(), addrs[2]);
+            assert_eq!(pool.pop_for(64).unwrap().addr(), addrs[0]);
+            assert_eq!(pool.len(), 1);
+            free_all(&a, pool.drain_all());
+            free_all(&a, [hit, Retired::new(std::ptr::NonNull::new(addrs[2] as *mut u8).unwrap()), Retired::new(std::ptr::NonNull::new(addrs[0] as *mut u8).unwrap())]);
+        }
+
+        #[test]
+        fn take_excess_prefers_fullest_bin() {
+            let a = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+            let mut pool = PoolBins::new();
+            let mut batch = alloc_batch(&a, &[64, 64, 64, 240]);
+            // SAFETY: live blocks.
+            unsafe { pool.absorb(&mut batch) };
+            let excess = pool.take_excess(2);
+            assert_eq!(excess.len(), 2);
+            assert_eq!(pool.len(), 2);
+            // Both excess blocks came from the (fuller) 64-byte bin.
+            assert!(pool.pop_for(240).is_some(), "240-class survived the bleed");
+            free_all(&a, excess);
+            free_all(&a, pool.drain_all());
+        }
+
+        #[test]
+        fn drain_all_empties_every_bin() {
+            let a = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+            let mut pool = PoolBins::new();
+            let mut batch = alloc_batch(&a, &[16, 64, 512, 2048]);
+            // SAFETY: live blocks.
+            unsafe { pool.absorb(&mut batch) };
+            let all = pool.drain_all();
+            assert_eq!(all.len(), 4);
+            assert!(pool.is_empty());
+            assert!(pool.pop_for(64).is_none());
+            assert_eq!(pool.take_excess(10).len(), 0);
+            free_all(&a, all);
+        }
+    }
+}

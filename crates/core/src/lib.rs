@@ -1,0 +1,336 @@
+//! # epic-smr — safe memory reclamation with batch vs amortized freeing
+//!
+//! The paper's core contribution, as a library:
+//!
+//! * **Amortized Free (AF)** (§3.3): every scheme here takes a
+//!   [`FreeMode`] — `Batch` frees a safe batch immediately (the traditional
+//!   "optimization" the paper shows is an anti-pattern), `Amortized` parks
+//!   safe batches in a per-thread freeable list and frees a constant number
+//!   of objects at each subsequent operation, letting the allocator's
+//!   thread cache absorb and recycle them.
+//! * **Token-EBR** (§4): epochs established by a token circulating a ring
+//!   of threads, in all four variants of the paper (Naive, Pass-first,
+//!   Periodic, and Amortized-free).
+//! * The **comparison field** of §5: DEBRA, QSBR, RCU/EBR, hazard pointers,
+//!   hazard eras, interval-based reclamation (2GE), NBR and NBR+
+//!   (cooperative neutralization — see DESIGN.md for the signal
+//!   substitution), a simplified WFE, and a leaky `none` baseline.
+//!
+//! All schemes implement the dyn-compatible [`Smr`] trait so the harness
+//! can sweep them uniformly, and free through an [`epic_alloc`]
+//! [`PoolAllocator`], which is where the remote-batch-free problem lives.
+//!
+//! ## Using a scheme from a data structure
+//!
+//! ```text
+//! smr.begin_op(tid);                   // also drains the AF list
+//! loop {
+//!     let p = load link;
+//!     smr.protect(tid, slot, p);       // no-op for epoch schemes
+//!     if !smr.needs_validate() || relink == p { break }
+//! }
+//! if smr.poll_restart(tid) { restart } // NBR neutralization
+//! smr.enter_write_phase(tid, &[nodes about to be touched]);
+//! ... unlink node ...
+//! smr.retire(tid, node);
+//! smr.end_op(tid);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod common;
+pub mod config;
+pub mod freebuf;
+pub mod retired;
+pub mod schemes;
+pub mod smr_stats;
+
+pub use common::SchemeCommon;
+pub use config::{FreeMode, SmrConfig};
+pub use freebuf::FreeBuffer;
+pub use retired::Retired;
+pub use smr_stats::SmrSnapshot;
+
+use epic_alloc::{PoolAllocator, Tid};
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+/// The reclamation-scheme interface the trees program against.
+///
+/// Methods take the caller's dense [`Tid`]; a given tid must be used by at
+/// most one thread at a time (same contract as [`PoolAllocator`]).
+pub trait Smr: Send + Sync {
+    /// Begins a data-structure operation: publishes whatever the scheme
+    /// needs (epoch announcement, token check, reservation reset) and
+    /// drains the amortized-free list by the configured per-op count.
+    fn begin_op(&self, tid: Tid);
+
+    /// Ends the operation (clears reservations, marks quiescence).
+    fn end_op(&self, tid: Tid);
+
+    /// Publishes protection for the pointer about to be dereferenced.
+    /// Slot-based schemes (HP) publish `ptr`; era-based schemes (HE, IBR,
+    /// WFE) publish the current era; epoch/token schemes do nothing.
+    ///
+    /// If [`needs_validate`](Smr::needs_validate) returns true the caller
+    /// must re-read the link after this call and retry until stable.
+    fn protect(&self, tid: Tid, slot: usize, ptr: usize);
+
+    /// True if `protect` requires the re-read-and-retry validation loop.
+    fn needs_validate(&self) -> bool;
+
+    /// Neutralization poll (NBR): returns true if the thread has been asked
+    /// to restart its operation. The caller must drop every data-structure
+    /// pointer it holds and restart from the root. Schemes without
+    /// neutralization always return false.
+    fn poll_restart(&self, tid: Tid) -> bool;
+
+    /// Declares the pointers the thread will dereference during its write
+    /// phase (NBR): after this call the thread is immune to neutralization
+    /// until `end_op`. No-op for other schemes.
+    fn enter_write_phase(&self, tid: Tid, ptrs: &[usize]);
+
+    /// Hook invoked right after allocating a node: era-based schemes stamp
+    /// the block's birth era.
+    fn on_alloc(&self, tid: Tid, ptr: NonNull<u8>);
+
+    /// Serves an allocation from the thread's object pool when the scheme
+    /// runs in [`FreeMode::Pooled`]. `None` (the default, and the answer
+    /// in every other mode) means "allocate from the allocator". Callers
+    /// must still invoke [`on_alloc`](Smr::on_alloc) on the returned block.
+    fn try_pool_alloc(&self, tid: Tid, size: usize) -> Option<NonNull<u8>> {
+        let _ = (tid, size);
+        None
+    }
+
+    /// Retires an unlinked node: it will be freed once no thread can hold a
+    /// reference, via the configured [`FreeMode`].
+    fn retire(&self, tid: Tid, ptr: NonNull<u8>);
+
+    /// Announces that `tid` is leaving the workload (worker shutdown).
+    /// Grace-period schemes treat detached threads as permanently
+    /// quiescent so stragglers cannot block reclamation; Token-EBR removes
+    /// the thread from the ring, forwarding any held token. Call outside
+    /// any operation; the tid must not run further operations.
+    fn detach(&self, tid: Tid);
+
+    /// Teardown: with all worker threads quiescent, frees every object
+    /// still held in limbo bags and freeable lists. Callers must guarantee
+    /// no concurrent data-structure access.
+    fn quiesce_and_drain(&self);
+
+    /// Aggregated scheme statistics.
+    fn stats(&self) -> SmrSnapshot;
+
+    /// Resets statistics between trials.
+    fn reset_stats(&self);
+
+    /// Scheme name including the free-mode suffix (e.g. `"debra_af"`).
+    fn name(&self) -> String;
+
+    /// The scheme's kind tag.
+    fn kind(&self) -> SmrKind;
+
+    /// The allocator this scheme frees through.
+    fn allocator(&self) -> &Arc<dyn PoolAllocator>;
+}
+
+/// Identifies a reclamation scheme (the paper's ten plus the token
+/// variants and the leaky baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SmrKind {
+    None,
+    Qsbr,
+    Rcu,
+    Debra,
+    TokenNaive,
+    TokenPassFirst,
+    TokenPeriodic,
+    Hp,
+    He,
+    Ibr,
+    Nbr,
+    NbrPlus,
+    Wfe,
+}
+
+impl SmrKind {
+    /// The ten schemes of the paper's Experiment 2 (Fig. 11b), in its
+    /// display order. `TokenPeriodic` is the "token" row (token_af when
+    /// amortized).
+    pub const EXPERIMENT2: [SmrKind; 10] = [
+        SmrKind::Debra,
+        SmrKind::He,
+        SmrKind::Hp,
+        SmrKind::Ibr,
+        SmrKind::Nbr,
+        SmrKind::NbrPlus,
+        SmrKind::Qsbr,
+        SmrKind::Rcu,
+        SmrKind::TokenPeriodic,
+        SmrKind::Wfe,
+    ];
+
+    /// Base name without free-mode suffix.
+    pub fn base_name(self) -> &'static str {
+        match self {
+            SmrKind::None => "none",
+            SmrKind::Qsbr => "qsbr",
+            SmrKind::Rcu => "rcu",
+            SmrKind::Debra => "debra",
+            SmrKind::TokenNaive => "token_naive",
+            SmrKind::TokenPassFirst => "token_passfirst",
+            SmrKind::TokenPeriodic => "token",
+            SmrKind::Hp => "hp",
+            SmrKind::He => "he",
+            SmrKind::Ibr => "ibr",
+            SmrKind::Nbr => "nbr",
+            SmrKind::NbrPlus => "nbr+",
+            SmrKind::Wfe => "wfe",
+        }
+    }
+
+    /// Parses a base name (as printed by [`base_name`](Self::base_name)).
+    pub fn parse(s: &str) -> Option<SmrKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" | "leak" => Some(SmrKind::None),
+            "qsbr" => Some(SmrKind::Qsbr),
+            "rcu" | "ebr" => Some(SmrKind::Rcu),
+            "debra" => Some(SmrKind::Debra),
+            "token_naive" => Some(SmrKind::TokenNaive),
+            "token_passfirst" => Some(SmrKind::TokenPassFirst),
+            "token" | "token_periodic" => Some(SmrKind::TokenPeriodic),
+            "hp" => Some(SmrKind::Hp),
+            "he" => Some(SmrKind::He),
+            "ibr" => Some(SmrKind::Ibr),
+            "nbr" => Some(SmrKind::Nbr),
+            "nbr+" | "nbrplus" => Some(SmrKind::NbrPlus),
+            "wfe" => Some(SmrKind::Wfe),
+            _ => None,
+        }
+    }
+}
+
+/// RAII operation guard: `begin_op` on creation, `end_op` on drop.
+///
+/// ```
+/// use epic_alloc::{build_allocator, AllocatorKind, CostModel};
+/// use epic_smr::{build_smr, OpGuard, SmrConfig, SmrKind};
+/// use std::sync::Arc;
+///
+/// let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+/// let smr = build_smr(SmrKind::Debra, Arc::clone(&alloc), SmrConfig::new(1));
+/// {
+///     let guard = OpGuard::new(&*smr, 0);
+///     // ... traverse; retire through the guard ...
+///     let p = alloc.alloc(0, 64);
+///     guard.retire(p);
+/// } // end_op here
+/// smr.quiesce_and_drain();
+/// assert_eq!(smr.stats().freed + smr.stats().garbage, 1);
+/// ```
+pub struct OpGuard<'a> {
+    smr: &'a dyn Smr,
+    tid: Tid,
+}
+
+impl<'a> OpGuard<'a> {
+    /// Begins an operation for `tid`.
+    pub fn new(smr: &'a dyn Smr, tid: Tid) -> Self {
+        smr.begin_op(tid);
+        OpGuard { smr, tid }
+    }
+
+    /// The guarded thread id.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Publishes protection for a pointer (see [`Smr::protect`]).
+    pub fn protect(&self, slot: usize, ptr: usize) {
+        self.smr.protect(self.tid, slot, ptr);
+    }
+
+    /// Neutralization poll (see [`Smr::poll_restart`]).
+    pub fn poll_restart(&self) -> bool {
+        self.smr.poll_restart(self.tid)
+    }
+
+    /// Retires an unlinked node through the guarded scheme.
+    pub fn retire(&self, ptr: NonNull<u8>) {
+        self.smr.retire(self.tid, ptr);
+    }
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        self.smr.end_op(self.tid);
+    }
+}
+
+/// Builds a reclamation scheme over `alloc` with configuration `cfg`.
+pub fn build_smr(kind: SmrKind, alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Arc<dyn Smr> {
+    match kind {
+        SmrKind::None => Arc::new(schemes::leak::LeakSmr::new(alloc, cfg)),
+        SmrKind::Qsbr => Arc::new(schemes::qsbr::QsbrSmr::new(alloc, cfg)),
+        SmrKind::Rcu => Arc::new(schemes::rcu::RcuSmr::new(alloc, cfg)),
+        SmrKind::Debra => Arc::new(schemes::debra::DebraSmr::new(alloc, cfg)),
+        SmrKind::TokenNaive => Arc::new(schemes::token::TokenSmr::new(
+            alloc,
+            cfg,
+            schemes::token::TokenVariant::Naive,
+        )),
+        SmrKind::TokenPassFirst => Arc::new(schemes::token::TokenSmr::new(
+            alloc,
+            cfg,
+            schemes::token::TokenVariant::PassFirst,
+        )),
+        SmrKind::TokenPeriodic => Arc::new(schemes::token::TokenSmr::new(
+            alloc,
+            cfg,
+            schemes::token::TokenVariant::Periodic,
+        )),
+        SmrKind::Hp => Arc::new(schemes::hp::HpSmr::new(alloc, cfg)),
+        SmrKind::He => Arc::new(schemes::he::HeSmr::new(alloc, cfg)),
+        SmrKind::Ibr => Arc::new(schemes::ibr::IbrSmr::new(alloc, cfg)),
+        SmrKind::Nbr => Arc::new(schemes::nbr::NbrSmr::new(alloc, cfg, false)),
+        SmrKind::NbrPlus => Arc::new(schemes::nbr::NbrSmr::new(alloc, cfg, true)),
+        SmrKind::Wfe => Arc::new(schemes::wfe::WfeSmr::new(alloc, cfg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in [
+            SmrKind::None,
+            SmrKind::Qsbr,
+            SmrKind::Rcu,
+            SmrKind::Debra,
+            SmrKind::TokenNaive,
+            SmrKind::TokenPassFirst,
+            SmrKind::TokenPeriodic,
+            SmrKind::Hp,
+            SmrKind::He,
+            SmrKind::Ibr,
+            SmrKind::Nbr,
+            SmrKind::NbrPlus,
+            SmrKind::Wfe,
+        ] {
+            assert_eq!(SmrKind::parse(kind.base_name()), Some(kind), "{kind:?}");
+        }
+        assert_eq!(SmrKind::parse("unknown"), None);
+    }
+
+    #[test]
+    fn experiment2_has_ten_schemes() {
+        assert_eq!(SmrKind::EXPERIMENT2.len(), 10);
+        let set: std::collections::HashSet<_> = SmrKind::EXPERIMENT2.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+}

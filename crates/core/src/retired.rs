@@ -1,0 +1,66 @@
+//! Retired-object records.
+
+use std::ptr::NonNull;
+
+/// One retired (unlinked but not yet freed) object.
+///
+/// Carries the metadata era-based schemes need to decide freeability:
+/// the block's birth era (stamped at allocation via
+/// [`crate::Smr::on_alloc`]) and the era at retirement. Epoch/token
+/// schemes ignore both fields.
+#[derive(Debug, Clone, Copy)]
+pub struct Retired {
+    /// User pointer of the block (as handed out by the allocator).
+    pub ptr: NonNull<u8>,
+    /// Era at allocation (0 for schemes that do not stamp).
+    pub birth_era: u64,
+    /// Era at retirement (0 for schemes that do not stamp).
+    pub retire_era: u64,
+}
+
+// SAFETY: a Retired is a capability to free the block; ownership semantics
+// are enforced by the schemes (exactly one bag holds it). The raw pointer
+// itself is Send.
+unsafe impl Send for Retired {}
+
+impl Retired {
+    /// A record without era metadata.
+    pub fn new(ptr: NonNull<u8>) -> Self {
+        Retired {
+            ptr,
+            birth_era: 0,
+            retire_era: 0,
+        }
+    }
+
+    /// A record with era interval `[birth, retire]`.
+    pub fn with_eras(ptr: NonNull<u8>, birth_era: u64, retire_era: u64) -> Self {
+        Retired {
+            ptr,
+            birth_era,
+            retire_era,
+        }
+    }
+
+    /// The block address as an integer (hazard-set membership tests).
+    #[inline]
+    pub fn addr(&self) -> usize {
+        self.ptr.as_ptr() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_addr() {
+        let mut word = 0u64;
+        let p = NonNull::new(&mut word as *mut u64 as *mut u8).unwrap();
+        let r = Retired::new(p);
+        assert_eq!(r.addr(), p.as_ptr() as usize);
+        assert_eq!(r.birth_era, 0);
+        let r2 = Retired::with_eras(p, 3, 9);
+        assert_eq!((r2.birth_era, r2.retire_era), (3, 9));
+    }
+}

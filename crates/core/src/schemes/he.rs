@@ -1,0 +1,295 @@
+//! Hazard eras (Ramalhete & Correia) — `he`.
+//!
+//! A global *era* clock replaces hazard pointers' per-object announcements:
+//! blocks are stamped with their birth era at allocation
+//! ([`crate::Smr::on_alloc`] writes the block header) and their retire era
+//! at retirement; readers publish the era they are reading under. An object
+//! is reclaimable when no published era falls inside its `[birth, retire]`
+//! lifetime.
+//!
+//! The paper finds `he` among the slowest schemes and the only one that
+//! does not improve with amortized freeing (Fig. 11b) — its per-read era
+//! publication dominates, which this implementation reproduces with a
+//! SeqCst era load + conditional SeqCst store per protected hop.
+
+use crate::common::SchemeCommon;
+use crate::config::SmrConfig;
+use crate::smr_stats::SmrSnapshot;
+use crate::{Retired, Smr, SmrKind};
+
+use epic_alloc::block;
+use epic_alloc::{PoolAllocator, Tid};
+use epic_util::TidSlots;
+use std::ptr::NonNull;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel: slot holds no reservation.
+const NONE: u64 = u64::MAX;
+
+struct HeThread {
+    bag: Vec<Retired>,
+    retires_since_tick: usize,
+}
+
+/// Hazard eras. See module docs.
+pub struct HeSmr {
+    common: SchemeCommon,
+    era: AtomicU64,
+    /// Flat era-slot array: `slots[tid * k + i]`, `NONE` when empty.
+    slots: Box<[AtomicU64]>,
+    k: usize,
+    threads: TidSlots<HeThread>,
+}
+
+impl HeSmr {
+    /// Builds the scheme.
+    pub fn new(alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Self {
+        let n = cfg.max_threads;
+        let k = cfg.hp_slots;
+        HeSmr {
+            era: AtomicU64::new(1),
+            slots: (0..n * k).map(|_| AtomicU64::new(NONE)).collect::<Vec<_>>().into_boxed_slice(),
+            k,
+            threads: TidSlots::new_with(n, |_| HeThread {
+                bag: Vec::new(),
+                retires_since_tick: 0,
+            }),
+            common: SchemeCommon::new(alloc, cfg),
+        }
+    }
+
+    /// Current era (tests, diagnostics).
+    pub fn current_era(&self) -> u64 {
+        self.era.load(Ordering::SeqCst)
+    }
+
+    fn scan_and_reclaim(&self, tid: Tid, state: &mut HeThread) {
+        self.common.stats.get(tid).on_scan();
+        fence(Ordering::SeqCst);
+        let reservations: Vec<u64> =
+            self.slots.iter().map(|s| s.load(Ordering::Acquire)).filter(|&e| e != NONE).collect();
+        let mut freeable = Vec::with_capacity(state.bag.len());
+        state.bag.retain(|r| {
+            let reserved =
+                reservations.iter().any(|&e| e >= r.birth_era && e <= r.retire_era);
+            if reserved {
+                true
+            } else {
+                freeable.push(*r);
+                false
+            }
+        });
+        self.common.dispose(tid, &mut freeable);
+    }
+}
+
+impl Smr for HeSmr {
+    fn begin_op(&self, tid: Tid) {
+        self.common.relief(tid);
+    }
+
+    fn end_op(&self, tid: Tid) {
+        for i in 0..self.k {
+            self.slots[tid * self.k + i].store(NONE, Ordering::Release);
+        }
+    }
+
+    fn protect(&self, tid: Tid, slot: usize, _ptr: usize) {
+        debug_assert!(slot < self.k);
+        let e = self.era.load(Ordering::SeqCst);
+        let s = &self.slots[tid * self.k + slot];
+        if s.load(Ordering::Relaxed) != e {
+            // SeqCst: publication must precede the caller's validating
+            // re-read of the link.
+            s.store(e, Ordering::SeqCst);
+        }
+    }
+
+    fn needs_validate(&self) -> bool {
+        true
+    }
+
+    fn poll_restart(&self, _tid: Tid) -> bool {
+        false
+    }
+
+    fn enter_write_phase(&self, _tid: Tid, _ptrs: &[usize]) {}
+
+    fn on_alloc(&self, tid: Tid, ptr: NonNull<u8>) {
+        self.common.tick(tid);
+        // SAFETY: ptr is a live block from this scheme's allocator (trait
+        // contract).
+        unsafe { block::set_birth_era(ptr, self.era.load(Ordering::SeqCst)) };
+    }
+
+    fn try_pool_alloc(&self, tid: Tid, size: usize) -> Option<NonNull<u8>> {
+        self.common.pool_alloc(tid, size)
+    }
+
+    fn retire(&self, tid: Tid, ptr: NonNull<u8>) {
+        self.common.stats.get(tid).on_retire(1);
+        // SAFETY: ptr is a live block from this scheme's allocator.
+        let birth = unsafe { block::birth_era(ptr) };
+        let retire_era = self.era.load(Ordering::SeqCst);
+        // SAFETY: tid-exclusivity contract.
+        let state = unsafe { self.threads.get_mut(tid) };
+        state.bag.push(Retired::with_eras(ptr, birth, retire_era));
+        state.retires_since_tick += 1;
+        if state.retires_since_tick >= self.common.cfg.era_freq {
+            state.retires_since_tick = 0;
+            let new = self.era.fetch_add(1, Ordering::SeqCst) + 1;
+            self.common.record_epoch_advance(tid, new);
+        }
+        if state.bag.len() >= self.common.cfg.bag_cap {
+            self.scan_and_reclaim(tid, state);
+        }
+    }
+
+    fn detach(&self, tid: Tid) {
+        // Drop all era reservations permanently.
+        self.end_op(tid);
+    }
+
+    fn quiesce_and_drain(&self) {
+        for s in self.slots.iter() {
+            s.store(NONE, Ordering::Relaxed);
+        }
+        for tid in 0..self.common.n_threads() {
+            // SAFETY: quiescence is the caller's contract.
+            let state = unsafe { self.threads.get_mut(tid) };
+            self.common.free_batch_now(tid, &mut state.bag);
+            self.common.drain_freebuf(tid);
+        }
+        self.common.sync_background();
+    }
+
+    fn stats(&self) -> SmrSnapshot {
+        self.common.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.common.stats.reset();
+    }
+
+    fn name(&self) -> String {
+        self.common.scheme_name("he")
+    }
+
+    fn kind(&self) -> SmrKind {
+        SmrKind::He
+    }
+
+    fn allocator(&self) -> &Arc<dyn PoolAllocator> {
+        &self.common.alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_alloc::{build_allocator, AllocatorKind, CostModel};
+
+    fn setup(n: usize, bag_cap: usize, era_freq: usize) -> (Arc<dyn PoolAllocator>, Arc<HeSmr>) {
+        let alloc = build_allocator(AllocatorKind::Je, n, CostModel::zero());
+        let mut cfg = SmrConfig::new(n).with_bag_cap(bag_cap);
+        cfg.era_freq = era_freq;
+        let smr = Arc::new(HeSmr::new(Arc::clone(&alloc), cfg));
+        (alloc, smr)
+    }
+
+    #[test]
+    fn era_advances_with_retires() {
+        let (alloc, smr) = setup(1, 1_000_000, 4);
+        let e0 = smr.current_era();
+        for _ in 0..16 {
+            smr.begin_op(0);
+            let p = alloc.alloc(0, 64);
+            smr.on_alloc(0, p);
+            smr.retire(0, p);
+            smr.end_op(0);
+        }
+        assert_eq!(smr.current_era() - e0, 4, "16 retires / freq 4");
+        smr.quiesce_and_drain();
+    }
+
+    #[test]
+    fn reserved_era_blocks_reclaim() {
+        let (alloc, smr) = setup(2, 8, 2);
+        // Thread 1 publishes the current era and parks.
+        smr.begin_op(1);
+        smr.protect(1, 0, 0);
+        // Thread 0 churns: everything it retires is born/retired in eras
+        // >= thread 1's reservation... so objects whose lifetime covers
+        // the reserved era are kept.
+        let reserved = smr.current_era();
+        let p = alloc.alloc(0, 64);
+        smr.on_alloc(0, p); // birth = reserved era
+        smr.begin_op(0);
+        smr.retire(0, p); // lifetime [reserved, >=reserved] covers it
+        for _ in 0..16 {
+            let q = alloc.alloc(0, 64);
+            smr.on_alloc(0, q);
+            smr.retire(0, q);
+        }
+        smr.end_op(0);
+        let s = smr.stats();
+        assert!(s.scans > 0);
+        assert!(s.garbage >= 1, "the covered object must survive: {s:?}");
+        let _ = reserved;
+        smr.end_op(1);
+        smr.quiesce_and_drain();
+        assert_eq!(smr.stats().garbage, 0);
+    }
+
+    #[test]
+    fn objects_born_after_reservation_epoch_are_freed() {
+        let (alloc, smr) = setup(2, 4, 1);
+        // Thread 1 reserves era E.
+        smr.begin_op(1);
+        smr.protect(1, 0, 0);
+        // Era moves past E via retires; objects born *later* than E and
+        // retired later are unreachable by thread 1's reservation... they
+        // free despite the standing reservation.
+        for _ in 0..8 {
+            smr.begin_op(0);
+            let p = alloc.alloc(0, 64);
+            smr.on_alloc(0, p);
+            smr.retire(0, p);
+            smr.end_op(0);
+        }
+        let freed_mid = smr.stats().freed;
+        assert!(freed_mid > 0, "later-born objects must be reclaimable: {:?}", smr.stats());
+        smr.end_op(1);
+        smr.quiesce_and_drain();
+    }
+
+    #[test]
+    fn multithreaded_stress() {
+        let (alloc, smr) = setup(4, 32, 8);
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let smr = Arc::clone(&smr);
+                let alloc = Arc::clone(&alloc);
+                std::thread::spawn(move || {
+                    for i in 0..3_000usize {
+                        smr.begin_op(tid);
+                        smr.protect(tid, i % 8, 0);
+                        let p = alloc.alloc(tid, 64);
+                        smr.on_alloc(tid, p);
+                        smr.retire(tid, p);
+                        smr.end_op(tid);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        smr.quiesce_and_drain();
+        let s = smr.stats();
+        assert_eq!(s.retired, 12_000);
+        assert_eq!(s.freed, 12_000);
+        assert_eq!(s.garbage, 0);
+    }
+}

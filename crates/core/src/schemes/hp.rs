@@ -1,0 +1,273 @@
+//! Hazard pointers (Michael, 2004) — `hp`.
+//!
+//! Per-thread announcement slots hold the addresses a thread may be about
+//! to dereference. The data structure publishes via [`crate::Smr::protect`]
+//! and *must* re-read the link to validate (`needs_validate() == true`);
+//! reclamation scans all slots and frees only unannounced objects.
+//!
+//! The per-read store + SeqCst fencing is exactly why the paper finds hp
+//! 7–9× slower than token_af on traversal-heavy trees (Fig. 11a), and its
+//! scan-based reclamation still frees in batches — so it also benefits
+//! (modestly, §5) from amortized freeing.
+
+use crate::common::SchemeCommon;
+use crate::config::SmrConfig;
+use crate::smr_stats::SmrSnapshot;
+use crate::{Retired, Smr, SmrKind};
+
+use epic_alloc::{PoolAllocator, Tid};
+use epic_util::TidSlots;
+use std::collections::HashSet;
+use std::ptr::NonNull;
+use std::sync::atomic::{fence, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct HpThread {
+    bag: Vec<Retired>,
+}
+
+/// Hazard pointers. See module docs.
+pub struct HpSmr {
+    common: SchemeCommon,
+    /// Flat slot array: `slots[tid * k + i]`.
+    slots: Box<[AtomicUsize]>,
+    k: usize,
+    threads: TidSlots<HpThread>,
+}
+
+impl HpSmr {
+    /// Builds the scheme with `cfg.hp_slots` hazard slots per thread.
+    pub fn new(alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Self {
+        let n = cfg.max_threads;
+        let k = cfg.hp_slots;
+        HpSmr {
+            slots: (0..n * k).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>().into_boxed_slice(),
+            k,
+            threads: TidSlots::new_with(n, |_| HpThread { bag: Vec::new() }),
+            common: SchemeCommon::new(alloc, cfg),
+        }
+    }
+
+    /// Scans all hazard slots and frees every bagged object that is not
+    /// announced; announced objects stay in the bag for the next scan.
+    fn scan_and_reclaim(&self, tid: Tid, state: &mut HpThread) {
+        self.common.stats.get(tid).on_scan();
+        // The fence pairs with the SeqCst protect stores: any protect that
+        // precedes our scan in the SeqCst order is observed.
+        fence(Ordering::SeqCst);
+        let hazards: HashSet<usize> =
+            self.slots.iter().map(|s| s.load(Ordering::Acquire)).filter(|&p| p != 0).collect();
+        let mut freeable = Vec::with_capacity(state.bag.len());
+        state.bag.retain(|r| {
+            if hazards.contains(&r.addr()) {
+                true
+            } else {
+                freeable.push(*r);
+                false
+            }
+        });
+        self.common.dispose(tid, &mut freeable);
+    }
+}
+
+impl Smr for HpSmr {
+    fn begin_op(&self, tid: Tid) {
+        self.common.relief(tid);
+    }
+
+    fn end_op(&self, tid: Tid) {
+        // Release the operation's hazards so scanners can reclaim.
+        for i in 0..self.k {
+            self.slots[tid * self.k + i].store(0, Ordering::Release);
+        }
+    }
+
+    fn protect(&self, tid: Tid, slot: usize, ptr: usize) {
+        debug_assert!(slot < self.k, "hazard slot {slot} out of range");
+        // SeqCst: the announcement must be ordered before the caller's
+        // validating re-read of the link (Michael's protocol).
+        self.slots[tid * self.k + slot].store(ptr, Ordering::SeqCst);
+    }
+
+    fn needs_validate(&self) -> bool {
+        true
+    }
+
+    fn poll_restart(&self, _tid: Tid) -> bool {
+        false
+    }
+
+    fn enter_write_phase(&self, _tid: Tid, _ptrs: &[usize]) {}
+
+    fn on_alloc(&self, tid: Tid, _ptr: NonNull<u8>) {
+        self.common.tick(tid);
+    }
+
+    fn try_pool_alloc(&self, tid: Tid, size: usize) -> Option<NonNull<u8>> {
+        self.common.pool_alloc(tid, size)
+    }
+
+    fn retire(&self, tid: Tid, ptr: NonNull<u8>) {
+        self.common.stats.get(tid).on_retire(1);
+        // SAFETY: tid-exclusivity contract.
+        let state = unsafe { self.threads.get_mut(tid) };
+        state.bag.push(Retired::new(ptr));
+        let threshold = self.common.cfg.bag_cap.max(2 * self.k * self.common.n_threads());
+        if state.bag.len() >= threshold {
+            self.scan_and_reclaim(tid, state);
+        }
+    }
+
+    fn detach(&self, tid: Tid) {
+        // Drop all hazards permanently.
+        self.end_op(tid);
+    }
+
+    fn quiesce_and_drain(&self) {
+        for s in self.slots.iter() {
+            s.store(0, Ordering::Relaxed);
+        }
+        for tid in 0..self.common.n_threads() {
+            // SAFETY: quiescence is the caller's contract.
+            let state = unsafe { self.threads.get_mut(tid) };
+            self.common.free_batch_now(tid, &mut state.bag);
+            self.common.drain_freebuf(tid);
+        }
+        self.common.sync_background();
+    }
+
+    fn stats(&self) -> SmrSnapshot {
+        self.common.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.common.stats.reset();
+    }
+
+    fn name(&self) -> String {
+        self.common.scheme_name("hp")
+    }
+
+    fn kind(&self) -> SmrKind {
+        SmrKind::Hp
+    }
+
+    fn allocator(&self) -> &Arc<dyn PoolAllocator> {
+        &self.common.alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FreeMode;
+    use epic_alloc::{build_allocator, AllocatorKind, CostModel};
+
+    fn setup(n: usize, bag_cap: usize) -> (Arc<dyn PoolAllocator>, Arc<HpSmr>) {
+        let alloc = build_allocator(AllocatorKind::Sys, n, CostModel::zero());
+        let cfg = SmrConfig::new(n).with_bag_cap(bag_cap);
+        let smr = Arc::new(HpSmr::new(Arc::clone(&alloc), cfg));
+        (alloc, smr)
+    }
+
+    #[test]
+    fn protected_object_survives_scan() {
+        let (alloc, smr) = setup(2, 4);
+        let victim = alloc.alloc(0, 64);
+        // Thread 1 protects the victim.
+        smr.begin_op(1);
+        smr.protect(1, 0, victim.as_ptr() as usize);
+        // Thread 0 retires it plus enough filler to trigger scans.
+        smr.begin_op(0);
+        smr.retire(0, victim);
+        for _ in 0..64 {
+            let filler = alloc.alloc(0, 64);
+            smr.retire(0, filler);
+        }
+        smr.end_op(0);
+        let s = smr.stats();
+        assert!(s.freed > 0, "filler must be reclaimed: {s:?}");
+        assert!(s.scans > 0);
+        // The victim is still protected: garbage >= 1.
+        assert!(s.garbage >= 1);
+        // Thread 1 releases; next scan frees the victim.
+        smr.end_op(1);
+        smr.begin_op(0);
+        for _ in 0..64 {
+            let filler = alloc.alloc(0, 64);
+            smr.retire(0, filler);
+        }
+        smr.end_op(0);
+        smr.quiesce_and_drain();
+        assert_eq!(smr.stats().garbage, 0);
+    }
+
+    #[test]
+    fn end_op_clears_slots() {
+        let (alloc, smr) = setup(1, 2);
+        let p = alloc.alloc(0, 64);
+        smr.begin_op(0);
+        smr.protect(0, 3, p.as_ptr() as usize);
+        smr.end_op(0);
+        assert!(smr.slots.iter().all(|s| s.load(Ordering::Relaxed) == 0));
+        smr.begin_op(0);
+        smr.retire(0, p);
+        smr.end_op(0);
+        smr.quiesce_and_drain();
+        assert_eq!(smr.stats().freed, 1);
+    }
+
+    #[test]
+    fn needs_validate_is_true() {
+        let (_, smr) = setup(1, 2);
+        assert!(smr.needs_validate());
+    }
+
+    #[test]
+    fn af_mode_defers_scan_output() {
+        let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+        let cfg = SmrConfig::new(1).with_bag_cap(4).with_mode(FreeMode::Amortized { per_op: 1 });
+        let smr = HpSmr::new(Arc::clone(&alloc), cfg);
+        for _ in 0..32 {
+            smr.begin_op(0);
+            let p = alloc.alloc(0, 64);
+            smr.on_alloc(0, p);
+            smr.retire(0, p);
+            smr.end_op(0);
+        }
+        // Scans happened, and AF ticks freed gradually.
+        let s = smr.stats();
+        assert!(s.scans > 0);
+        assert!(s.freed > 0 && s.freed < 32, "gradual: {s:?}");
+        smr.quiesce_and_drain();
+        assert_eq!(smr.stats().freed, 32);
+    }
+
+    #[test]
+    fn concurrent_protect_retire_stress() {
+        let (alloc, smr) = setup(4, 16);
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let smr = Arc::clone(&smr);
+                let alloc = Arc::clone(&alloc);
+                std::thread::spawn(move || {
+                    for i in 0..3_000usize {
+                        smr.begin_op(tid);
+                        let p = alloc.alloc(tid, 64);
+                        smr.protect(tid, i % 8, p.as_ptr() as usize);
+                        smr.retire(tid, p);
+                        smr.end_op(tid);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        smr.quiesce_and_drain();
+        let s = smr.stats();
+        assert_eq!(s.retired, 12_000);
+        assert_eq!(s.freed, 12_000);
+        assert_eq!(s.garbage, 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Interval-based reclamation (Wen et al., PPoPP 2018), 2GE variant —
+//! `ibr`.
+//!
+//! Each thread reserves an era *interval* `[lo, hi]`: `lo = hi = era` at
+//! operation start, and `hi` is bumped to the current era at each protected
+//! hop (the "2 Global Epochs" published-era scheme). An object whose
+//! `[birth, retire]` lifetime overlaps any thread's reservation interval
+//! cannot be freed.
+//!
+//! Compared to hazard eras, protection is cheaper (two fixed slots per
+//! thread instead of per-pointer slots) but reservations are coarser.
+
+use crate::common::SchemeCommon;
+use crate::config::SmrConfig;
+use crate::smr_stats::SmrSnapshot;
+use crate::{Retired, Smr, SmrKind};
+
+use epic_alloc::block;
+use epic_alloc::{PoolAllocator, Tid};
+use epic_util::{CachePadded, TidSlots};
+use std::ptr::NonNull;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const NONE: u64 = u64::MAX;
+
+struct Reservation {
+    lo: AtomicU64,
+    hi: AtomicU64,
+}
+
+struct IbrThread {
+    bag: Vec<Retired>,
+    retires_since_tick: usize,
+}
+
+/// 2GE interval-based reclamation. See module docs.
+pub struct IbrSmr {
+    common: SchemeCommon,
+    era: AtomicU64,
+    reservations: Box<[CachePadded<Reservation>]>,
+    threads: TidSlots<IbrThread>,
+}
+
+impl IbrSmr {
+    /// Builds the scheme.
+    pub fn new(alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Self {
+        let n = cfg.max_threads;
+        IbrSmr {
+            era: AtomicU64::new(1),
+            reservations: (0..n)
+                .map(|_| {
+                    CachePadded::new(Reservation {
+                        lo: AtomicU64::new(NONE),
+                        hi: AtomicU64::new(NONE),
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            threads: TidSlots::new_with(n, |_| IbrThread {
+                bag: Vec::new(),
+                retires_since_tick: 0,
+            }),
+            common: SchemeCommon::new(alloc, cfg),
+        }
+    }
+
+    /// Current era (tests, diagnostics).
+    pub fn current_era(&self) -> u64 {
+        self.era.load(Ordering::SeqCst)
+    }
+
+    fn scan_and_reclaim(&self, tid: Tid, state: &mut IbrThread) {
+        self.common.stats.get(tid).on_scan();
+        fence(Ordering::SeqCst);
+        let intervals: Vec<(u64, u64)> = self
+            .reservations
+            .iter()
+            .map(|r| (r.lo.load(Ordering::Acquire), r.hi.load(Ordering::Acquire)))
+            .filter(|&(lo, _)| lo != NONE)
+            .collect();
+        let mut freeable = Vec::with_capacity(state.bag.len());
+        state.bag.retain(|r| {
+            // Overlap test: [lo,hi] ∩ [birth,retire] ≠ ∅.
+            let reserved =
+                intervals.iter().any(|&(lo, hi)| lo <= r.retire_era && r.birth_era <= hi);
+            if reserved {
+                true
+            } else {
+                freeable.push(*r);
+                false
+            }
+        });
+        self.common.dispose(tid, &mut freeable);
+    }
+}
+
+impl Smr for IbrSmr {
+    fn begin_op(&self, tid: Tid) {
+        let e = self.era.load(Ordering::SeqCst);
+        let r = &self.reservations[tid];
+        // Publish lo before hi is irrelevant for safety (both SeqCst and
+        // equal); what matters is publication precedes the first link read.
+        r.lo.store(e, Ordering::SeqCst);
+        r.hi.store(e, Ordering::SeqCst);
+    }
+
+    fn end_op(&self, tid: Tid) {
+        let r = &self.reservations[tid];
+        r.lo.store(NONE, Ordering::Release);
+        r.hi.store(NONE, Ordering::Release);
+    }
+
+    fn protect(&self, tid: Tid, _slot: usize, _ptr: usize) {
+        let e = self.era.load(Ordering::SeqCst);
+        let hi = &self.reservations[tid].hi;
+        if hi.load(Ordering::Relaxed) < e {
+            hi.store(e, Ordering::SeqCst);
+        }
+    }
+
+    fn needs_validate(&self) -> bool {
+        true
+    }
+
+    fn poll_restart(&self, _tid: Tid) -> bool {
+        false
+    }
+
+    fn enter_write_phase(&self, _tid: Tid, _ptrs: &[usize]) {}
+
+    fn on_alloc(&self, tid: Tid, ptr: NonNull<u8>) {
+        self.common.tick(tid);
+        // SAFETY: live block from this scheme's allocator.
+        unsafe { block::set_birth_era(ptr, self.era.load(Ordering::SeqCst)) };
+    }
+
+    fn try_pool_alloc(&self, tid: Tid, size: usize) -> Option<NonNull<u8>> {
+        self.common.pool_alloc(tid, size)
+    }
+
+    fn retire(&self, tid: Tid, ptr: NonNull<u8>) {
+        self.common.stats.get(tid).on_retire(1);
+        // SAFETY: live block from this scheme's allocator.
+        let birth = unsafe { block::birth_era(ptr) };
+        let retire_era = self.era.load(Ordering::SeqCst);
+        // SAFETY: tid-exclusivity contract.
+        let state = unsafe { self.threads.get_mut(tid) };
+        state.bag.push(Retired::with_eras(ptr, birth, retire_era));
+        state.retires_since_tick += 1;
+        if state.retires_since_tick >= self.common.cfg.era_freq {
+            state.retires_since_tick = 0;
+            let new = self.era.fetch_add(1, Ordering::SeqCst) + 1;
+            self.common.record_epoch_advance(tid, new);
+        }
+        if state.bag.len() >= self.common.cfg.bag_cap {
+            self.scan_and_reclaim(tid, state);
+        }
+    }
+
+    fn detach(&self, tid: Tid) {
+        // Drop all era reservations permanently.
+        self.end_op(tid);
+    }
+
+    fn quiesce_and_drain(&self) {
+        for r in self.reservations.iter() {
+            r.lo.store(NONE, Ordering::Relaxed);
+            r.hi.store(NONE, Ordering::Relaxed);
+        }
+        for tid in 0..self.common.n_threads() {
+            // SAFETY: quiescence is the caller's contract.
+            let state = unsafe { self.threads.get_mut(tid) };
+            self.common.free_batch_now(tid, &mut state.bag);
+            self.common.drain_freebuf(tid);
+        }
+        self.common.sync_background();
+    }
+
+    fn stats(&self) -> SmrSnapshot {
+        self.common.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.common.stats.reset();
+    }
+
+    fn name(&self) -> String {
+        self.common.scheme_name("ibr")
+    }
+
+    fn kind(&self) -> SmrKind {
+        SmrKind::Ibr
+    }
+
+    fn allocator(&self) -> &Arc<dyn PoolAllocator> {
+        &self.common.alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_alloc::{build_allocator, AllocatorKind, CostModel};
+
+    fn setup(n: usize, bag_cap: usize, era_freq: usize) -> (Arc<dyn PoolAllocator>, Arc<IbrSmr>) {
+        let alloc = build_allocator(AllocatorKind::Je, n, CostModel::zero());
+        let mut cfg = SmrConfig::new(n).with_bag_cap(bag_cap);
+        cfg.era_freq = era_freq;
+        let smr = Arc::new(IbrSmr::new(Arc::clone(&alloc), cfg));
+        (alloc, smr)
+    }
+
+    #[test]
+    fn interval_reservation_blocks_overlapping_lifetimes() {
+        let (alloc, smr) = setup(2, 4, 1);
+        // Thread 1 opens an op at era E: reserves [E, E].
+        smr.begin_op(1);
+        // An object born at era <= E and retired at era >= E overlaps.
+        let victim = alloc.alloc(0, 64);
+        smr.on_alloc(0, victim);
+        smr.begin_op(0);
+        smr.retire(0, victim);
+        for _ in 0..8 {
+            let q = alloc.alloc(0, 64);
+            smr.on_alloc(0, q);
+            smr.retire(0, q);
+        }
+        smr.end_op(0);
+        assert!(smr.stats().garbage >= 1, "victim overlaps reservation: {:?}", smr.stats());
+        // Later-born objects do get freed.
+        assert!(smr.stats().freed > 0);
+        smr.end_op(1);
+        smr.quiesce_and_drain();
+        assert_eq!(smr.stats().garbage, 0);
+    }
+
+    #[test]
+    fn end_op_clears_reservation() {
+        let (_, smr) = setup(1, 4, 1);
+        smr.begin_op(0);
+        assert_ne!(smr.reservations[0].lo.load(Ordering::Relaxed), NONE);
+        smr.end_op(0);
+        assert_eq!(smr.reservations[0].lo.load(Ordering::Relaxed), NONE);
+        assert_eq!(smr.reservations[0].hi.load(Ordering::Relaxed), NONE);
+    }
+
+    #[test]
+    fn protect_extends_hi_only_forward() {
+        let (alloc, smr) = setup(1, 1_000_000, 1);
+        smr.begin_op(0);
+        let lo0 = smr.reservations[0].lo.load(Ordering::Relaxed);
+        // Advance the era by retiring (freq 1).
+        for _ in 0..5 {
+            let p = alloc.alloc(0, 64);
+            smr.on_alloc(0, p);
+            smr.retire(0, p);
+        }
+        smr.protect(0, 0, 0);
+        let lo1 = smr.reservations[0].lo.load(Ordering::Relaxed);
+        let hi1 = smr.reservations[0].hi.load(Ordering::Relaxed);
+        assert_eq!(lo0, lo1, "lo never moves during an op");
+        assert!(hi1 >= lo1 + 5, "hi tracks the era: lo={lo1} hi={hi1}");
+        smr.end_op(0);
+        smr.quiesce_and_drain();
+    }
+
+    #[test]
+    fn multithreaded_stress() {
+        let (alloc, smr) = setup(4, 32, 4);
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let smr = Arc::clone(&smr);
+                let alloc = Arc::clone(&alloc);
+                std::thread::spawn(move || {
+                    for _ in 0..3_000 {
+                        smr.begin_op(tid);
+                        smr.protect(tid, 0, 0);
+                        let p = alloc.alloc(tid, 64);
+                        smr.on_alloc(tid, p);
+                        smr.retire(tid, p);
+                        smr.end_op(tid);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        smr.quiesce_and_drain();
+        let s = smr.stats();
+        assert_eq!(s.retired, 12_000);
+        assert_eq!(s.freed, 12_000);
+        assert_eq!(s.garbage, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! The reclamation schemes.
+//!
+//! | module | scheme(s) | paper role |
+//! |---|---|---|
+//! | [`leak`] | `none` | the leaky "upper bound" baseline the paper's AF schemes beat |
+//! | [`debra`] | `debra` | state-of-the-art EBR whose batch frees expose the RBF problem (§3) |
+//! | [`token`] | `token_naive`, `token_passfirst`, `token`, (`token_af` via AF mode) | §4's Token-EBR progression |
+//! | [`qsbr`] | `qsbr` | quiescent-state-based reclamation (Hart et al.) |
+//! | [`rcu`] | `rcu` | classic per-operation EBR (Fraser / Hart's RCU) |
+//! | [`hp`] | `hp` | hazard pointers (Michael) |
+//! | [`he`] | `he` | hazard eras (Ramalhete & Correia) |
+//! | [`ibr`] | `ibr` | 2GE interval-based reclamation (Wen et al.) |
+//! | [`nbr`] | `nbr`, `nbr+` | neutralization-based reclamation (Singh et al.), cooperative-signal variant |
+//! | [`wfe`] | `wfe` | wait-free eras (Nikolaev & Ravindran), simplified |
+
+pub mod debra;
+pub mod he;
+pub mod hp;
+pub mod ibr;
+pub mod leak;
+pub mod nbr;
+pub mod qsbr;
+pub mod rcu;
+pub mod token;
+pub mod wfe;
+
+/// A tagged limbo bag: retirements plus the epoch they belong to.
+#[derive(Debug, Default)]
+pub(crate) struct EpochBag {
+    pub epoch: u64,
+    pub items: Vec<crate::retired::Retired>,
+}

@@ -1,0 +1,207 @@
+//! # epic-ds — the concurrent ordered maps of the paper's evaluation
+//!
+//! Three trees over pluggable SMR + allocator, chosen to reproduce the
+//! paper's allocation profiles (§3, Fig. 1):
+//!
+//! * [`AbTree`] — leaf-oriented (a,b)-tree à la Brown: lock-free reads,
+//!   copy-on-write leaves/internals. **Allocates 1–2 large (~240 B) nodes
+//!   per insert or delete** — the structure whose garbage volume exposes
+//!   the remote-batch-free problem.
+//! * [`OccTree`] — Bronson-style partially-external BST with optimistic
+//!   version validation. **Allocates one small (64 B) node per insert and
+//!   nothing per delete** (two-child deletes leave a routing node) — the
+//!   structure that keeps scaling in Fig. 1.
+//! * [`DgtTree`] — the David–Guerraoui–Trigonakis external BST with
+//!   per-node ticket locks (appendix D): insert allocates 2 nodes, delete
+//!   unlinks 2.
+//!
+//! Plus one structure beyond the paper's evaluation, for generality
+//! testing:
+//!
+//! * [`HmList`] — the canonical Harris–Michael lock-free sorted linked
+//!   list (the paper cites Harris [19] as the origin of batched
+//!   reclamation): 1 small node per insert, 1 retire per delete.
+//!
+//! ## SMR discipline
+//!
+//! Every traversal hop follows the protocol the schemes require (see
+//! `epic-smr` docs): publish protection, re-read the link to validate
+//! (slot-based schemes), check the parent's mark, and poll for
+//! neutralization (NBR). Epoch/token schemes compile all of that down to
+//! nothing but the plain Acquire load.
+//!
+//! Nodes are plain-old-data carved from the pool allocator; reclamation is
+//! exactly "return the block". Trees free all remaining nodes on `Drop`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod abtree;
+pub mod dgt;
+pub mod hmlist;
+pub mod occ;
+
+pub use abtree::AbTree;
+pub use dgt::DgtTree;
+pub use hmlist::HmList;
+pub use occ::OccTree;
+
+use epic_alloc::{PoolAllocator, Tid};
+use epic_smr::Smr;
+use std::sync::Arc;
+
+/// Largest usable key: the trees reserve `u64::MAX` (and `u64::MAX - 1`)
+/// for sentinels.
+pub const MAX_KEY: u64 = u64::MAX - 2;
+
+/// Largest usable value: `u64::MAX` is the OCC tree's tombstone.
+pub const MAX_VALUE: u64 = u64::MAX - 1;
+
+/// The concurrent ordered-map interface the harness benchmarks.
+///
+/// All operations take the caller's [`Tid`] (same one-thread-per-tid
+/// contract as the allocator and SMR layers). `size`, `collect_keys` and
+/// `check_invariants` require quiescence — call them only when no other
+/// thread is operating.
+pub trait ConcurrentMap: Send + Sync {
+    /// Inserts `key → value`; returns true if the key was absent.
+    fn insert(&self, tid: Tid, key: u64, value: u64) -> bool;
+
+    /// Removes `key`; returns true if it was present.
+    fn remove(&self, tid: Tid, key: u64) -> bool;
+
+    /// Looks up `key`.
+    fn get(&self, tid: Tid, key: u64) -> Option<u64>;
+
+    /// Membership test.
+    fn contains(&self, tid: Tid, key: u64) -> bool {
+        self.get(tid, key).is_some()
+    }
+
+    /// Number of keys (quiescent).
+    fn size(&self) -> usize;
+
+    /// All keys in ascending order (quiescent).
+    fn collect_keys(&self) -> Vec<u64>;
+
+    /// Structural invariant check (quiescent); `Err` describes the first
+    /// violation found.
+    fn check_invariants(&self) -> Result<(), String>;
+
+    /// Data-structure name for reports.
+    fn ds_name(&self) -> &'static str;
+
+    /// The reclamation scheme in use.
+    fn smr(&self) -> &Arc<dyn Smr>;
+
+    /// Average nodes freed per delete — the paper's §7 guidance for tuning
+    /// the amortized-free drain rate (`per_op`).
+    fn frees_per_delete_hint(&self) -> usize;
+}
+
+/// Which map to build (harness configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TreeKind {
+    /// Brown-style (a,b)-tree.
+    Ab,
+    /// Bronson-style OCC BST.
+    Occ,
+    /// DGT ticket-lock external BST.
+    Dgt,
+    /// Harris–Michael lock-free sorted linked list.
+    Hm,
+}
+
+impl TreeKind {
+    /// Every map, in the order reports use.
+    pub const ALL: [TreeKind; 4] = [TreeKind::Ab, TreeKind::Occ, TreeKind::Dgt, TreeKind::Hm];
+
+    /// Parses "ab"/"abtree", "occ"/"occtree", "dgt", "hm"/"hmlist"/"list".
+    pub fn parse(s: &str) -> Option<TreeKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ab" | "abtree" => Some(TreeKind::Ab),
+            "occ" | "occtree" => Some(TreeKind::Occ),
+            "dgt" | "dgttree" => Some(TreeKind::Dgt),
+            "hm" | "hmlist" | "list" => Some(TreeKind::Hm),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeKind::Ab => "abtree",
+            TreeKind::Occ => "occtree",
+            TreeKind::Dgt => "dgttree",
+            TreeKind::Hm => "hmlist",
+        }
+    }
+}
+
+/// Builds a map of the given kind over `smr` (which carries the
+/// allocator).
+pub fn build_tree(kind: TreeKind, smr: Arc<dyn Smr>) -> Arc<dyn ConcurrentMap> {
+    match kind {
+        TreeKind::Ab => Arc::new(AbTree::new(smr)),
+        TreeKind::Occ => Arc::new(OccTree::new(smr)),
+        TreeKind::Dgt => Arc::new(DgtTree::new(smr)),
+        TreeKind::Hm => Arc::new(HmList::new(smr)),
+    }
+}
+
+/// Allocates and placement-initializes a node of type `T` from the pool,
+/// stamping the SMR birth era. Under [`epic_smr::FreeMode::Pooled`] the
+/// block may be recycled from the scheme's object pool instead of the
+/// allocator.
+///
+/// # Safety
+/// `T` must be plain-old-data (no `Drop`), and the caller must eventually
+/// either `retire` the node through `smr` or return it with
+/// [`dealloc_node`].
+pub(crate) unsafe fn alloc_node<T>(
+    alloc: &Arc<dyn PoolAllocator>,
+    smr: &Arc<dyn Smr>,
+    tid: Tid,
+    value: T,
+) -> *mut T {
+    let size = std::mem::size_of::<T>();
+    let ptr = smr
+        .try_pool_alloc(tid, size)
+        .unwrap_or_else(|| alloc.alloc(tid, size));
+    let node = ptr.as_ptr() as *mut T;
+    // SAFETY: a block of >= size_of::<T>() bytes (fresh, or recycled from
+    // the same size class), 16-aligned (block layout), which satisfies the
+    // trees' node alignments (<= 16).
+    unsafe { node.write(value) };
+    smr.on_alloc(tid, ptr);
+    node
+}
+
+/// Returns an *unpublished* node straight to the allocator (failed CAS /
+/// validation paths — the node was never visible to other threads).
+///
+/// # Safety
+/// `node` must come from [`alloc_node`] on the same allocator and must not
+/// have been published.
+pub(crate) unsafe fn dealloc_node<T>(alloc: &Arc<dyn PoolAllocator>, tid: Tid, node: *mut T) {
+    // SAFETY: forwarded to caller; POD nodes need no drop.
+    unsafe {
+        alloc.dealloc(tid, std::ptr::NonNull::new_unchecked(node as *mut u8));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_kind_parse() {
+        assert_eq!(TreeKind::parse("abtree"), Some(TreeKind::Ab));
+        assert_eq!(TreeKind::parse("OCC"), Some(TreeKind::Occ));
+        assert_eq!(TreeKind::parse("dgt"), Some(TreeKind::Dgt));
+        assert_eq!(TreeKind::parse("xyz"), None);
+        for k in [TreeKind::Ab, TreeKind::Occ, TreeKind::Dgt] {
+            assert_eq!(TreeKind::parse(k.name()), Some(k));
+        }
+    }
+}

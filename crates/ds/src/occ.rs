@@ -1,0 +1,597 @@
+//! Bronson-style optimistic-concurrency BST (`OccTree`).
+//!
+//! A simplified partially-external BST with per-node optimistic version
+//! locks, preserving the benchmark-relevant characteristics of Bronson et
+//! al.'s AVL tree (the paper's "OCCtree", Fig. 1):
+//!
+//! * **Allocation profile**: an insert allocates one small (64 B) node —
+//!   or none, if it revives a routing node; a delete allocates nothing.
+//! * **Partially external**: deleting a node with two children merely
+//!   *tombstones* its value (the node stays as a routing node, no retire);
+//!   nodes with ≤ 1 child are physically unlinked (one retire). Routing
+//!   nodes encountered with ≤ 1 child are unlinked opportunistically
+//!   during updates.
+//! * **Optimistic traversal**: readers validate per-node versions
+//!   ([`epic_util::SeqLock`]) instead of locking, retrying from the root
+//!   on interference.
+//!
+//! Divergence from Bronson et al. (documented in DESIGN.md): no AVL
+//! rebalancing — uniform random workloads keep expected height
+//! logarithmic, and the paper's phenomena concern allocation volume, not
+//! rotations.
+
+use crate::{alloc_node, dealloc_node, ConcurrentMap, MAX_KEY};
+use epic_alloc::{PoolAllocator, Tid};
+use epic_smr::Smr;
+use epic_util::SeqLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Tombstone value marking a routing node.
+const TOMB: u64 = u64::MAX;
+
+/// One internal-BST node: 56 bytes, 64-byte class (the paper's 64 B OCC
+/// node).
+#[repr(C)]
+pub(crate) struct Node {
+    key: u64,
+    value: AtomicU64,
+    left: AtomicUsize,
+    right: AtomicUsize,
+    version: SeqLock,
+    marked: AtomicUsize,
+}
+
+impl Node {
+    #[inline]
+    fn child(&self, go_left: bool) -> &AtomicUsize {
+        if go_left {
+            &self.left
+        } else {
+            &self.right
+        }
+    }
+
+    #[inline]
+    fn is_marked(&self) -> bool {
+        self.marked.load(Ordering::SeqCst) != 0
+    }
+
+    #[inline]
+    fn set_marked(&self) {
+        self.marked.store(1, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn n_children(&self) -> usize {
+        usize::from(self.left.load(Ordering::Acquire) != 0)
+            + usize::from(self.right.load(Ordering::Acquire) != 0)
+    }
+}
+
+/// # Safety
+/// `addr` must be a protected (or quiescent) node pointer from this tree.
+#[inline]
+unsafe fn node<'a>(addr: usize) -> &'a Node {
+    debug_assert!(addr != 0);
+    // SAFETY: forwarded to caller.
+    unsafe { &*(addr as *const Node) }
+}
+
+/// Traversal outcome: the node holding `key`, or the attach point.
+struct Found {
+    parent: usize,
+    /// Node with the key, or 0 if absent.
+    target: usize,
+    /// Side of `parent` that `target` (or the null link) is on.
+    go_left: bool,
+}
+
+/// Simplified Bronson OCC tree. See module docs.
+pub struct OccTree {
+    smr: Arc<dyn Smr>,
+    alloc: Arc<dyn PoolAllocator>,
+    /// Permanent sentinel root with key `u64::MAX`; the real tree is its
+    /// left subtree.
+    root: usize,
+    needs_validate: bool,
+}
+
+// SAFETY: shared state is atomics + SMR-protected nodes.
+unsafe impl Send for OccTree {}
+unsafe impl Sync for OccTree {}
+
+impl OccTree {
+    /// Builds an empty tree over `smr`'s allocator.
+    pub fn new(smr: Arc<dyn Smr>) -> Self {
+        let alloc = Arc::clone(smr.allocator());
+        // SAFETY: POD sentinel, lives for the tree's lifetime.
+        let root = unsafe {
+            alloc_node(
+                &alloc,
+                &smr,
+                0,
+                Node {
+                    key: u64::MAX,
+                    value: AtomicU64::new(TOMB),
+                    left: AtomicUsize::new(0),
+                    right: AtomicUsize::new(0),
+                    version: SeqLock::new(),
+                    marked: AtomicUsize::new(0),
+                },
+            ) as usize
+        };
+        let needs_validate = smr.needs_validate();
+        OccTree {
+            smr,
+            alloc,
+            root,
+            needs_validate,
+        }
+    }
+
+    /// Protected hop (same discipline as the other trees).
+    #[inline]
+    fn read_child(&self, tid: Tid, slot: usize, parent: &Node, go_left: bool) -> Result<usize, ()> {
+        let link = parent.child(go_left);
+        let mut c = link.load(Ordering::Acquire);
+        if self.needs_validate {
+            loop {
+                if c == 0 {
+                    break;
+                }
+                self.smr.protect(tid, slot, c);
+                let again = link.load(Ordering::Acquire);
+                if again == c {
+                    break;
+                }
+                c = again;
+            }
+            if parent.is_marked() {
+                return Err(());
+            }
+        }
+        if self.smr.poll_restart(tid) {
+            return Err(());
+        }
+        Ok(c)
+    }
+
+    /// Optimistic descent to `key`. `Err(())` = restart.
+    fn search(&self, tid: Tid, key: u64) -> Result<Found, ()> {
+        let mut parent = self.root;
+        let mut go_left = true;
+        let mut depth = 0usize;
+        loop {
+            // SAFETY: parent is the sentinel or was protected last hop.
+            let p_node = unsafe { node(parent) };
+            let c = self.read_child(tid, depth % 3, p_node, go_left)?;
+            if c == 0 {
+                return Ok(Found {
+                    parent,
+                    target: 0,
+                    go_left,
+                });
+            }
+            // SAFETY: c protected by read_child.
+            let c_node = unsafe { node(c) };
+            if c_node.key == key {
+                return Ok(Found {
+                    parent,
+                    target: c,
+                    go_left,
+                });
+            }
+            parent = c;
+            go_left = key < c_node.key;
+            depth += 1;
+        }
+    }
+
+    /// Physically unlinks `target` (≤ 1 child) from `parent`. Both locks
+    /// taken in root-to-leaf order. Returns false if validation failed.
+    fn unlink(&self, tid: Tid, parent_addr: usize, target_addr: usize, go_left: bool) -> bool {
+        // SAFETY: protected by caller's traversal.
+        let (parent, target) = unsafe { (node(parent_addr), node(target_addr)) };
+        self.smr.enter_write_phase(tid, &[parent_addr, target_addr]);
+        parent.version.write_lock();
+        target.version.write_lock();
+        let replacement = {
+            let l = target.left.load(Ordering::Acquire);
+            let r = target.right.load(Ordering::Acquire);
+            if l != 0 && r != 0 {
+                // Grew a second child meanwhile: cannot unlink.
+                target.version.write_unlock();
+                parent.version.write_unlock();
+                return false;
+            }
+            l | r
+        };
+        let valid = !parent.is_marked()
+            && !target.is_marked()
+            && parent.child(go_left).load(Ordering::Acquire) == target_addr;
+        if !valid {
+            target.version.write_unlock();
+            parent.version.write_unlock();
+            return false;
+        }
+        target.set_marked();
+        parent.child(go_left).store(replacement, Ordering::Release);
+        target.version.write_unlock();
+        parent.version.write_unlock();
+        // SAFETY: target is unlinked; SMR delays the free.
+        unsafe {
+            self.smr.retire(tid, std::ptr::NonNull::new_unchecked(target_addr as *mut u8));
+        }
+        true
+    }
+
+    fn collect_rec(&self, addr: usize, out: &mut Vec<u64>) {
+        if addr == 0 {
+            return;
+        }
+        // SAFETY: quiescent traversal.
+        let n = unsafe { node(addr) };
+        self.collect_rec(n.left.load(Ordering::Acquire), out);
+        if n.key <= MAX_KEY && n.value.load(Ordering::Acquire) != TOMB {
+            out.push(n.key);
+        }
+        self.collect_rec(n.right.load(Ordering::Acquire), out);
+    }
+
+    fn check_rec(&self, addr: usize, lo: u64, hi: u64, report: &mut Vec<String>) {
+        if addr == 0 {
+            return;
+        }
+        // SAFETY: quiescent traversal.
+        let n = unsafe { node(addr) };
+        if n.is_marked() {
+            report.push(format!("reachable node {} is marked", n.key));
+        }
+        if !(lo <= n.key && n.key < hi) {
+            report.push(format!("node {} violates BST range [{lo},{hi})", n.key));
+        }
+        self.check_rec(n.left.load(Ordering::Acquire), lo, n.key.min(hi), report);
+        self.check_rec(n.right.load(Ordering::Acquire), n.key.saturating_add(1).max(lo), hi, report);
+    }
+
+    fn drop_rec(&self, addr: usize) {
+        if addr == 0 {
+            return;
+        }
+        // SAFETY: exclusive access during drop.
+        let n = unsafe { node(addr) };
+        self.drop_rec(n.left.load(Ordering::Relaxed));
+        self.drop_rec(n.right.load(Ordering::Relaxed));
+        // SAFETY: freed exactly once during the drop walk.
+        unsafe { dealloc_node(&self.alloc, 0, addr as *mut Node) };
+    }
+}
+
+impl ConcurrentMap for OccTree {
+    fn insert(&self, tid: Tid, key: u64, value: u64) -> bool {
+        assert!(key <= MAX_KEY && value < TOMB);
+        self.smr.begin_op(tid);
+        let result = loop {
+            let Ok(f) = self.search(tid, key) else { continue };
+            if f.target != 0 {
+                // Key node exists: revive if tombstoned (no allocation —
+                // the Bronson signature move).
+                // SAFETY: protected by traversal.
+                let t = unsafe { node(f.target) };
+                self.smr.enter_write_phase(tid, &[f.target]);
+                t.version.write_lock();
+                if t.is_marked() {
+                    t.version.write_unlock();
+                    self.smr.begin_op(tid);
+                    continue;
+                }
+                let was_tomb = t.value.load(Ordering::Acquire) == TOMB;
+                if was_tomb {
+                    t.value.store(value, Ordering::Release);
+                }
+                t.version.write_unlock();
+                break was_tomb;
+            }
+            // Attach a fresh node at the null link.
+            // SAFETY: protected by traversal.
+            let p = unsafe { node(f.parent) };
+            self.smr.enter_write_phase(tid, &[f.parent]);
+            p.version.write_lock();
+            let valid = !p.is_marked() && p.child(f.go_left).load(Ordering::Acquire) == 0;
+            if !valid {
+                p.version.write_unlock();
+                self.smr.begin_op(tid);
+                continue;
+            }
+            // SAFETY: fresh POD node, published below.
+            let fresh = unsafe {
+                alloc_node(
+                    &self.alloc,
+                    &self.smr,
+                    tid,
+                    Node {
+                        key,
+                        value: AtomicU64::new(value),
+                        left: AtomicUsize::new(0),
+                        right: AtomicUsize::new(0),
+                        version: SeqLock::new(),
+                        marked: AtomicUsize::new(0),
+                    },
+                ) as usize
+            };
+            p.child(f.go_left).store(fresh, Ordering::Release);
+            p.version.write_unlock();
+            break true;
+        };
+        self.smr.end_op(tid);
+        result
+    }
+
+    fn remove(&self, tid: Tid, key: u64) -> bool {
+        assert!(key <= MAX_KEY);
+        self.smr.begin_op(tid);
+        let result = loop {
+            let Ok(f) = self.search(tid, key) else { continue };
+            if f.target == 0 {
+                break false;
+            }
+            // SAFETY: protected by traversal.
+            let t = unsafe { node(f.target) };
+            if t.value.load(Ordering::Acquire) == TOMB {
+                break false;
+            }
+            if t.n_children() == 2 {
+                // Logical delete: tombstone, keep as routing node.
+                self.smr.enter_write_phase(tid, &[f.target]);
+                t.version.write_lock();
+                if t.is_marked() {
+                    t.version.write_unlock();
+                    self.smr.begin_op(tid);
+                    continue;
+                }
+                if t.n_children() < 2 {
+                    // Shrank meanwhile: retry through the unlink path.
+                    t.version.write_unlock();
+                    self.smr.begin_op(tid);
+                    continue;
+                }
+                let had_value = t.value.load(Ordering::Acquire) != TOMB;
+                if had_value {
+                    t.value.store(TOMB, Ordering::Release);
+                }
+                t.version.write_unlock();
+                break had_value;
+            }
+            // ≤ 1 child: tombstone + physical unlink (one retire).
+            self.smr.enter_write_phase(tid, &[f.parent, f.target]);
+            t.version.write_lock();
+            if t.is_marked() || t.value.load(Ordering::Acquire) == TOMB {
+                t.version.write_unlock();
+                self.smr.begin_op(tid);
+                // Value gone: someone else deleted it.
+                // SAFETY: protected.
+                if unsafe { node(f.target) }.value.load(Ordering::Acquire) == TOMB {
+                    break false;
+                }
+                continue;
+            }
+            t.value.store(TOMB, Ordering::Release);
+            t.version.write_unlock();
+            // Best-effort physical unlink; failure leaves a routing node
+            // that later operations clean up.
+            let _ = self.unlink(tid, f.parent, f.target, f.go_left);
+            break true;
+        };
+        self.smr.end_op(tid);
+        result
+    }
+
+    fn get(&self, tid: Tid, key: u64) -> Option<u64> {
+        assert!(key <= MAX_KEY);
+        self.smr.begin_op(tid);
+        let result = loop {
+            let Ok(f) = self.search(tid, key) else { continue };
+            if f.target == 0 {
+                break None;
+            }
+            // SAFETY: protected by traversal.
+            let v = unsafe { node(f.target) }.value.load(Ordering::Acquire);
+            break if v == TOMB { None } else { Some(v) };
+        };
+        self.smr.end_op(tid);
+        result
+    }
+
+    fn size(&self) -> usize {
+        self.collect_keys().len()
+    }
+
+    fn collect_keys(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        // SAFETY: quiescent.
+        let r = unsafe { node(self.root) };
+        self.collect_rec(r.left.load(Ordering::Acquire), &mut out);
+        out
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        let mut report = Vec::new();
+        // SAFETY: quiescent.
+        let r = unsafe { node(self.root) };
+        self.check_rec(r.left.load(Ordering::Acquire), 0, u64::MAX, &mut report);
+        let keys = self.collect_keys();
+        for w in keys.windows(2) {
+            if w[0] >= w[1] {
+                report.push(format!("ordering violation near {}", w[0]));
+            }
+        }
+        if report.is_empty() {
+            Ok(())
+        } else {
+            Err(report.join("; "))
+        }
+    }
+
+    fn ds_name(&self) -> &'static str {
+        "occtree"
+    }
+
+    fn smr(&self) -> &Arc<dyn Smr> {
+        &self.smr
+    }
+
+    fn frees_per_delete_hint(&self) -> usize {
+        1
+    }
+}
+
+impl Drop for OccTree {
+    fn drop(&mut self) {
+        self.smr.quiesce_and_drain();
+        self.drop_rec(self.root);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_alloc::{build_allocator, AllocatorKind, CostModel};
+    use epic_smr::{build_smr, SmrConfig, SmrKind};
+
+    fn tree(kind: SmrKind, threads: usize) -> OccTree {
+        let alloc = build_allocator(AllocatorKind::Sys, threads, CostModel::zero());
+        let cfg = SmrConfig::new(threads).with_bag_cap(32);
+        OccTree::new(build_smr(kind, alloc, cfg))
+    }
+
+    #[test]
+    fn sequential_semantics() {
+        let t = tree(SmrKind::Debra, 1);
+        assert!(t.insert(0, 10, 100));
+        assert!(t.insert(0, 5, 50));
+        assert!(t.insert(0, 15, 150));
+        assert!(!t.insert(0, 10, 999));
+        assert_eq!(t.get(0, 10), Some(100));
+        assert_eq!(t.collect_keys(), vec![5, 10, 15]);
+        assert!(t.remove(0, 10)); // two children -> tombstone
+        assert!(!t.contains(0, 10));
+        assert!(!t.remove(0, 10));
+        assert_eq!(t.collect_keys(), vec![5, 15]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn two_child_delete_allocates_and_retires_nothing() {
+        let t = tree(SmrKind::Debra, 1);
+        t.insert(0, 10, 1);
+        t.insert(0, 5, 1);
+        t.insert(0, 15, 1);
+        let before = t.smr().stats();
+        assert!(t.remove(0, 10));
+        let after = t.smr().stats();
+        assert_eq!(after.retired - before.retired, 0, "routing node stays");
+    }
+
+    #[test]
+    fn tombstone_revival_allocates_nothing() {
+        let t = tree(SmrKind::Debra, 1);
+        t.insert(0, 10, 1);
+        t.insert(0, 5, 1);
+        t.insert(0, 15, 1);
+        t.remove(0, 10); // tombstone
+        let allocs_before = t.alloc.snapshot().totals.allocs;
+        assert!(t.insert(0, 10, 42), "revival counts as insert");
+        assert_eq!(t.alloc.snapshot().totals.allocs, allocs_before, "no allocation on revival");
+        assert_eq!(t.get(0, 10), Some(42));
+    }
+
+    #[test]
+    fn leaf_delete_unlinks_physically() {
+        let t = tree(SmrKind::Debra, 1);
+        t.insert(0, 10, 1);
+        t.insert(0, 5, 1);
+        let before = t.smr().stats().retired;
+        assert!(t.remove(0, 5)); // leaf -> physical unlink
+        assert_eq!(t.smr().stats().retired - before, 1);
+        assert_eq!(t.collect_keys(), vec![10]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_stress_every_scheme() {
+        for kind in [
+            SmrKind::None,
+            SmrKind::Qsbr,
+            SmrKind::Rcu,
+            SmrKind::Debra,
+            SmrKind::TokenPeriodic,
+            SmrKind::Hp,
+            SmrKind::He,
+            SmrKind::Ibr,
+            SmrKind::Nbr,
+            SmrKind::NbrPlus,
+            SmrKind::Wfe,
+        ] {
+            let t = Arc::new(tree(kind, 4));
+            let handles: Vec<_> = (0..4usize)
+                .map(|tid| {
+                    let t = Arc::clone(&t);
+                    std::thread::spawn(move || {
+                        let base = tid as u64;
+                        for round in 0..300u64 {
+                            for i in 0..8u64 {
+                                let k = base + 4 * (i + 8 * (round % 3));
+                                if round % 2 == 0 {
+                                    t.insert(tid, k, k + 1);
+                                } else {
+                                    t.remove(tid, k);
+                                }
+                            }
+                            for i in 0..8u64 {
+                                let _ = t.get(tid, i * 13 % 97);
+                            }
+                        }
+                        t.smr().detach(tid);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            t.check_invariants().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            let mut oracle = std::collections::BTreeSet::new();
+            for tid in 0..4u64 {
+                for round in 0..300u64 {
+                    for i in 0..8u64 {
+                        let k = tid + 4 * (i + 8 * (round % 3));
+                        if round % 2 == 0 {
+                            oracle.insert(k);
+                        } else {
+                            oracle.remove(&k);
+                        }
+                    }
+                }
+            }
+            let want: Vec<u64> = oracle.into_iter().collect();
+            assert_eq!(t.collect_keys(), want, "{kind:?} diverged from oracle");
+        }
+    }
+
+    #[test]
+    fn drop_frees_all_pool_blocks() {
+        let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+        let cfg = SmrConfig::new(1).with_bag_cap(16);
+        {
+            let t = OccTree::new(build_smr(SmrKind::Debra, Arc::clone(&alloc), cfg));
+            for k in 0..100 {
+                t.insert(0, k, k);
+            }
+            for k in 0..100 {
+                t.remove(0, k);
+            }
+        }
+        let snap = alloc.snapshot();
+        assert_eq!(snap.totals.allocs, snap.totals.deallocs, "node leak at drop");
+    }
+}

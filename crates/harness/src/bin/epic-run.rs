@@ -1,0 +1,34 @@
+//! CLI entry point: run paper experiments by id.
+//!
+//! ```text
+//! epic-run list              # show all experiment ids
+//! epic-run fig11a_experiment1
+//! epic-run all               # the full evaluation
+//! EPIC_MILLIS=5000 EPIC_TRIALS=3 epic-run fig1_scaling   # paper-scale
+//! ```
+
+use epic_harness::experiments::{all_experiments, run_by_name};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("list") => {
+            println!("experiments (pass an id, or 'all'):");
+            for (id, _) in all_experiments() {
+                println!("  {id}");
+            }
+        }
+        Some("all") => {
+            for (id, f) in all_experiments() {
+                println!("\n##### {id} #####");
+                f();
+            }
+        }
+        Some(name) => {
+            if !run_by_name(name) {
+                eprintln!("unknown experiment '{name}'; try 'list'");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Workload configuration.
+
+use epic_alloc::{AllocatorKind, CostModel};
+use epic_ds::TreeKind;
+use epic_smr::{FreeMode, SmrKind};
+use epic_util::topology::{env_u64, env_usize};
+use epic_util::Topology;
+
+/// Everything one trial needs.
+#[derive(Clone)]
+pub struct WorkloadCfg {
+    /// Which tree to benchmark.
+    pub tree: TreeKind,
+    /// Which reclamation scheme.
+    pub smr_kind: SmrKind,
+    /// Batch vs amortized freeing. `None` = amortized with the tree's
+    /// matched drain rate (`frees_per_delete_hint`, the §7 guidance).
+    pub free_mode: FreeMode,
+    /// Which allocator model.
+    pub alloc_kind: AllocatorKind,
+    /// Allocator cost model.
+    pub cost: CostModel,
+    /// Worker thread count.
+    pub threads: usize,
+    /// Measured duration.
+    pub millis: u64,
+    /// Key range; steady-state size ≈ half.
+    pub key_range: u64,
+    /// Prefill to steady state before measuring.
+    pub prefill: bool,
+    /// Limbo-bag capacity for threshold schemes.
+    pub bag_cap: usize,
+    /// DEBRA's k (announcement-scan amortization).
+    pub epoch_check_every: usize,
+    /// Periodic Token-EBR's check interval.
+    pub token_check_every: usize,
+    /// Record timeline events (BatchFree, epoch dots, ...).
+    pub record_timeline: bool,
+    /// Record individual free calls at least this long (ns);
+    /// `u64::MAX` = off.
+    pub free_call_record_ns: u64,
+    /// Collect the per-epoch garbage series.
+    pub garbage_series: bool,
+    /// Thread-cache capacity override for Je/Tc models (ablations).
+    pub tcache_cap: Option<usize>,
+    /// Fraction of operations that are updates (insert/delete); the rest
+    /// are lookups. The paper's workload is all-updates (1.0).
+    pub update_ratio: f64,
+    /// Fault injection: thread 0 periodically stalls *inside* an
+    /// operation for `(stall_every_ms, stall_for_ms)` — the delayed-thread
+    /// scenario EBR is famously sensitive to (§3.1's citation of [35,37]).
+    pub stall: Option<(u64, u64)>,
+}
+
+impl WorkloadCfg {
+    /// The standard configuration for a scheme/tree pair at a thread
+    /// count, with environment-driven scale.
+    pub fn new(tree: TreeKind, smr_kind: SmrKind, threads: usize) -> Self {
+        WorkloadCfg {
+            tree,
+            smr_kind,
+            free_mode: FreeMode::Batch,
+            alloc_kind: AllocatorKind::Je,
+            cost: CostModel::default_for_machine(),
+            threads,
+            millis: env_u64("EPIC_MILLIS", 200),
+            key_range: env_u64("EPIC_KEYRANGE", 16_384),
+            prefill: true,
+            bag_cap: env_usize("EPIC_BAG_CAP", 4096),
+            epoch_check_every: 100,
+            token_check_every: 100,
+            record_timeline: false,
+            free_call_record_ns: u64::MAX,
+            garbage_series: false,
+            tcache_cap: None,
+            update_ratio: 1.0,
+            stall: None,
+        }
+    }
+
+    /// Switches to amortized freeing. The drain is coupled to
+    /// *allocations* (one queued free per fresh block, see
+    /// `epic_smr::SchemeCommon::tick`), which self-balances even for the
+    /// DGT tree's 2-frees-per-delete profile (its inserts allocate two
+    /// nodes), so `per_op = 1` is correct for every tree here.
+    pub fn amortized(mut self) -> Self {
+        self.free_mode = FreeMode::Amortized { per_op: 1 };
+        self
+    }
+
+    /// Switches to pooled freeing (object pooling — the §3.3/footnote-4
+    /// optimization the paper declines; see `ablation_pooled`).
+    pub fn pooled(mut self) -> Self {
+        self.free_mode = FreeMode::Pooled;
+        self
+    }
+
+    /// Explicit free mode.
+    pub fn with_mode(mut self, mode: FreeMode) -> Self {
+        self.free_mode = mode;
+        self
+    }
+
+    /// Chooses the allocator model.
+    pub fn with_alloc(mut self, kind: AllocatorKind) -> Self {
+        self.alloc_kind = kind;
+        self
+    }
+
+    /// Enables timeline recording.
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+
+    /// Enables per-free-call recording above `ns`.
+    pub fn with_free_calls(mut self, ns: u64) -> Self {
+        self.record_timeline = true;
+        self.free_call_record_ns = ns;
+        self
+    }
+
+    /// Enables the garbage series.
+    pub fn with_garbage_series(mut self) -> Self {
+        self.garbage_series = true;
+        self
+    }
+
+    /// The scheme's display name under this free mode.
+    pub fn scheme_label(&self) -> String {
+        format!("{}{}", self.smr_kind.base_name(), self.free_mode.suffix())
+    }
+}
+
+/// Environment-scaled experiment dimensions shared by the experiment
+/// drivers.
+#[derive(Debug, Clone)]
+pub struct ExperimentScale {
+    /// Thread counts for sweep experiments.
+    pub sweep: Vec<usize>,
+    /// The "192 threads" point (most oversubscribed).
+    pub max_threads: usize,
+    /// The "96 threads" point.
+    pub mid_threads: usize,
+    /// Trials per data point.
+    pub trials: usize,
+}
+
+impl ExperimentScale {
+    /// Reads the scale from topology + environment.
+    pub fn detect() -> Self {
+        let topo = Topology::detect();
+        let sweep = topo.sweep_threads();
+        ExperimentScale {
+            max_threads: *sweep.last().unwrap(),
+            mid_threads: sweep[sweep.len().saturating_sub(2).min(sweep.len() - 1)],
+            sweep,
+            trials: env_usize("EPIC_TRIALS", 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amortized_uses_alloc_coupled_drain() {
+        let ab = WorkloadCfg::new(TreeKind::Ab, SmrKind::Debra, 2).amortized();
+        assert_eq!(ab.free_mode, FreeMode::Amortized { per_op: 1 });
+        // Drain is coupled to allocations, so per_op stays 1 even for the
+        // DGT tree (2 frees/delete, but also 2 allocs/insert).
+        let dgt = WorkloadCfg::new(TreeKind::Dgt, SmrKind::Debra, 2).amortized();
+        assert_eq!(dgt.free_mode, FreeMode::Amortized { per_op: 1 });
+        assert_eq!(dgt.scheme_label(), "debra_af");
+    }
+
+    #[test]
+    fn scale_is_consistent() {
+        let s = ExperimentScale::detect();
+        assert!(!s.sweep.is_empty());
+        assert_eq!(s.max_threads, *s.sweep.last().unwrap());
+        assert!(s.trials >= 1);
+    }
+}

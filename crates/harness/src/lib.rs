@@ -1,0 +1,35 @@
+//! # epic-harness — the paper's evaluation methodology as a library
+//!
+//! Reproduces the experimental setup of §3/§5:
+//!
+//! > "For each thread count n, three trials were performed. In each trial,
+//! > n threads access the same data structure, and for five seconds,
+//! > repeatedly: flip a coin to decide whether to insert or delete a key,
+//! > and perform the resulting operation on a uniform random key in a
+//! > fixed key range. [...] the measured portion begins once the size of
+//! > the data structure stabilizes."
+//!
+//! Scaled to this machine (see DESIGN.md §2): thread counts sweep to 2×
+//! the logical CPUs, durations and key ranges default small, and
+//! everything scales up through environment variables:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `EPIC_MILLIS` | measured milliseconds per trial | 200 |
+//! | `EPIC_TRIALS` | trials per data point | 1 |
+//! | `EPIC_KEYRANGE` | key range (steady-state size = half) | 16384 |
+//! | `EPIC_THREADS` | comma-separated thread counts for sweeps | powers of 2 up to 2×CPUs |
+//! | `EPIC_BAG_CAP` | limbo-bag capacity (paper: 32768) | 4096 |
+//! | `EPIC_RESULTS` | artifact output directory | `results/` |
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod config;
+pub mod experiments;
+pub mod report;
+pub mod workload;
+
+pub use config::{ExperimentScale, WorkloadCfg};
+pub use report::{results_dir, Table};
+pub use workload::{run_trial, run_trials, TrialResult, TrialSummary};

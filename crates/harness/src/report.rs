@@ -1,0 +1,154 @@
+//! Table + artifact output.
+//!
+//! Every experiment prints an aligned table (the rows/series of the
+//! corresponding paper table/figure) and writes CSV/SVG artifacts under
+//! [`results_dir`].
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The artifact output directory (`EPIC_RESULTS`, default `results/`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("EPIC_RESULTS").unwrap_or_else(|_| "results".to_string());
+    let path = PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&path);
+    path
+}
+
+/// A simple aligned table with CSV export.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table/figure identifier (e.g. `table1_je_overhead`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `<results>/<id>.csv`.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        let mut csv = self.headers.join(",");
+        csv.push('\n');
+        for row in &self.rows {
+            csv.push_str(&row.join(","));
+            csv.push('\n');
+        }
+        let path = results_dir().join(format!("{}.csv", self.id));
+        if let Err(e) = std::fs::write(&path, csv) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Formats ops/s as the paper does (e.g. `43.4M`).
+pub fn fmt_mops(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1e6 {
+        format!("{:.1}M", ops_per_sec / 1e6)
+    } else if ops_per_sec >= 1e3 {
+        format!("{:.1}K", ops_per_sec / 1e3)
+    } else {
+        format!("{ops_per_sec:.0}")
+    }
+}
+
+/// Formats a count (`114M`, `32K`, ...).
+pub fn fmt_count(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.0}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.0}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_render_and_alignment() {
+        let mut t = Table::new("t", "demo", &["a", "header"]);
+        t.row(vec!["1".into(), "x".into()]);
+        t.row(vec!["1000".into(), "y".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // All data lines equal length (alignment).
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_mops(43_400_000.0), "43.4M");
+        assert_eq!(fmt_mops(12_300.0), "12.3K");
+        assert_eq!(fmt_mops(99.0), "99");
+        assert_eq!(fmt_count(114_000_000), "114M");
+        assert_eq!(fmt_count(32_768), "33K");
+        assert_eq!(fmt_count(7), "7");
+    }
+}

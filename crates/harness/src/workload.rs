@@ -1,0 +1,296 @@
+//! The trial driver: prefill to steady state, run the 50/50 workload,
+//! collect every metric the figures need.
+
+use crate::config::WorkloadCfg;
+use epic_alloc::{build_allocator_with, AllocSnapshot};
+use epic_ds::{build_tree, ConcurrentMap};
+use epic_smr::{build_smr, SmrConfig, SmrSnapshot};
+use epic_timeline::{Recorder, Series};
+use epic_util::stats::OnlineStats;
+use epic_util::{Clock, XorShift64};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Everything measured in one trial.
+pub struct TrialResult {
+    /// Scheme label (e.g. `debra_af`).
+    pub scheme: String,
+    /// Tree name.
+    pub tree: &'static str,
+    /// Completed operations (inserts + deletes).
+    pub ops: u64,
+    /// Measured wall time.
+    pub wall_ns: u64,
+    /// Operations per second.
+    pub throughput: f64,
+    /// Scheme counters at end of measurement (before teardown drain).
+    pub smr: SmrSnapshot,
+    /// Allocator counters.
+    pub alloc: AllocSnapshot,
+    /// Peak memory in MiB (total chunk bytes).
+    pub peak_mib: f64,
+    /// Timeline recorder (if enabled).
+    pub recorder: Option<Arc<Recorder>>,
+    /// Per-epoch garbage series (if enabled).
+    pub garbage: Option<Arc<Series>>,
+}
+
+impl TrialResult {
+    /// `% free` over total thread-time (Tables 1, 2, 4).
+    pub fn pct_free(&self, threads: usize) -> f64 {
+        self.smr.pct_free(self.wall_ns, threads)
+    }
+
+    /// `% flush` over total thread-time (allocator-side, Table 1/2).
+    pub fn pct_flush(&self, threads: usize) -> f64 {
+        self.alloc.pct_flush(self.wall_ns, threads)
+    }
+
+    /// `% lock` over total thread-time (Table 1/2).
+    pub fn pct_lock(&self, threads: usize) -> f64 {
+        self.alloc.pct_lock(self.wall_ns, threads)
+    }
+}
+
+/// Runs one trial of `cfg`. Panics on invariant violations (every trial
+/// doubles as a correctness check).
+pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
+    let n = cfg.threads;
+    // Background freeing runs a dedicated reclaimer on tid == n.
+    let alloc_tids = n + usize::from(cfg.free_mode == epic_smr::FreeMode::Background);
+    let alloc = build_allocator_with(cfg.alloc_kind, alloc_tids, cfg.cost, cfg.tcache_cap);
+
+    let recorder = if cfg.record_timeline {
+        Arc::new(Recorder::new(n, 100_000))
+    } else {
+        Arc::new(Recorder::disabled(n))
+    };
+    let garbage = cfg.garbage_series.then(|| Arc::new(Series::new("garbage-per-epoch")));
+
+    let mut smr_cfg = SmrConfig::new(n)
+        .with_mode(cfg.free_mode)
+        .with_bag_cap(cfg.bag_cap)
+        .with_recorder(Arc::clone(&recorder))
+        .with_free_call_recording(cfg.free_call_record_ns);
+    smr_cfg.epoch_check_every = cfg.epoch_check_every;
+    smr_cfg.token_check_every = cfg.token_check_every;
+    // Backlog cap: a few bags' worth — loose enough that the relief
+    // valve rarely outruns the allocation-coupled drain (which would cause
+    // tcache overflow), tight enough to bound garbage (Fig. 4's "slightly
+    // larger amount of garbage on average").
+    smr_cfg.af_backlog_cap = cfg.bag_cap * 4;
+    if let Some(g) = &garbage {
+        smr_cfg = smr_cfg.with_garbage_series(Arc::clone(g));
+    }
+
+    let smr = build_smr(cfg.smr_kind, Arc::clone(&alloc), smr_cfg);
+    let scheme = smr.name();
+    let tree = build_tree(cfg.tree, smr);
+
+    if cfg.prefill {
+        prefill(&tree, cfg);
+        // Measurement starts from a stable size; prefill noise is dropped.
+        tree.smr().reset_stats();
+        tree.smr().allocator().reset_stats();
+        recorder.clear();
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let clock = Clock::start();
+    thread::scope(|scope| {
+        for tid in 0..n {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            let total_ops = Arc::clone(&total_ops);
+            let key_range = cfg.key_range;
+            let update_ratio = cfg.update_ratio;
+            let stall = cfg.stall;
+            scope.spawn(move || {
+                let mut rng = XorShift64::new((tid as u64 + 1) * 0x9E37_79B9 + 12345);
+                let mut ops = 0u64;
+                let mut next_stall_ns =
+                    stall.map(|(every_ms, _)| epic_util::now_ns() + every_ms * 1_000_000);
+                while !stop.load(Ordering::Relaxed) {
+                    // Fault injection: thread 0 parks *inside* an operation,
+                    // holding its epoch announcement — the delayed-thread
+                    // scenario that stalls grace periods.
+                    if tid == 0 {
+                        if let (Some((every_ms, for_ms)), Some(due)) = (stall, next_stall_ns) {
+                            if epic_util::now_ns() >= due {
+                                let smr = tree.smr();
+                                smr.begin_op(tid);
+                                std::thread::sleep(Duration::from_millis(for_ms));
+                                smr.end_op(tid);
+                                next_stall_ns =
+                                    Some(epic_util::now_ns() + every_ms * 1_000_000);
+                            }
+                        }
+                    }
+                    // The paper's inner loop: coin flip, uniform key.
+                    for _ in 0..64 {
+                        let key = rng.next_bounded(key_range);
+                        let uniform = (rng.next_u64() >> 11) as f64 / 9_007_199_254_740_992.0;
+                        let is_update = update_ratio >= 1.0 || uniform < update_ratio;
+                        if !is_update {
+                            let _ = tree.get(tid, key);
+                        } else if rng.coin() {
+                            tree.insert(tid, key, key ^ 0xABCD);
+                        } else {
+                            tree.remove(tid, key);
+                        }
+                        ops += 1;
+                    }
+                }
+                tree.smr().detach(tid);
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        thread::sleep(Duration::from_millis(cfg.millis));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let wall_ns = clock.elapsed_ns();
+
+    let ops = total_ops.load(Ordering::Relaxed);
+    let smr_snap = tree.smr().stats();
+    let alloc_snap = tree.smr().allocator().snapshot();
+    let peak_mib = tree.smr().allocator().peak_bytes() as f64 / (1024.0 * 1024.0);
+
+    TrialResult {
+        scheme,
+        tree: tree.ds_name(),
+        ops,
+        wall_ns,
+        throughput: ops as f64 / (wall_ns as f64 / 1e9),
+        smr: smr_snap,
+        alloc: alloc_snap,
+        peak_mib,
+        recorder: cfg.record_timeline.then_some(recorder),
+        garbage,
+    }
+}
+
+/// Parallel prefill to `key_range / 2` keys — "the measured portion begins
+/// once the size of the data structure stabilizes".
+fn prefill(tree: &Arc<dyn ConcurrentMap>, cfg: &WorkloadCfg) {
+    let target = cfg.key_range / 2;
+    let inserted = Arc::new(AtomicU64::new(0));
+    let n = cfg.threads;
+    thread::scope(|scope| {
+        for tid in 0..n {
+            let tree = Arc::clone(tree);
+            let inserted = Arc::clone(&inserted);
+            let key_range = cfg.key_range;
+            scope.spawn(move || {
+                let mut rng = XorShift64::new((tid as u64 + 7) * 0x2545_F491 + 99);
+                while inserted.load(Ordering::Relaxed) < target {
+                    let key = rng.next_bounded(key_range);
+                    if tree.insert(tid, key, key ^ 0xABCD) {
+                        inserted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Aggregated results over several trials of the same configuration
+/// (mean / min / max, as the paper's error bars).
+pub struct TrialSummary {
+    /// Scheme label.
+    pub scheme: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Throughput statistics across trials (ops/s).
+    pub throughput: OnlineStats,
+    /// Peak memory statistics (MiB).
+    pub peak_mib: OnlineStats,
+    /// The last trial's full result (for counter-style columns).
+    pub last: TrialResult,
+}
+
+/// Runs `trials` trials of `cfg` and aggregates.
+pub fn run_trials(cfg: &WorkloadCfg, trials: usize) -> TrialSummary {
+    assert!(trials >= 1);
+    let mut throughput = OnlineStats::new();
+    let mut peak = OnlineStats::new();
+    let mut last = None;
+    for _ in 0..trials {
+        let r = run_trial(cfg);
+        throughput.push(r.throughput);
+        peak.push(r.peak_mib);
+        last = Some(r);
+    }
+    let last = last.expect("trials >= 1");
+    TrialSummary {
+        scheme: last.scheme.clone(),
+        threads: cfg.threads,
+        throughput,
+        peak_mib: peak,
+        last,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epic_ds::TreeKind;
+    use epic_smr::SmrKind;
+
+    fn quick(tree: TreeKind, smr: SmrKind) -> WorkloadCfg {
+        let mut cfg = WorkloadCfg::new(tree, smr, 2);
+        cfg.millis = 30;
+        cfg.key_range = 512;
+        cfg.bag_cap = 64;
+        cfg
+    }
+
+    #[test]
+    fn trial_produces_consistent_numbers() {
+        let r = run_trial(&quick(TreeKind::Ab, SmrKind::Debra));
+        assert!(r.ops > 0, "no ops completed");
+        assert!(r.throughput > 0.0);
+        assert!(r.wall_ns >= 25_000_000, "trial ended early: {}", r.wall_ns);
+        assert!(r.smr.retired > 0, "50/50 churn must retire nodes");
+        assert!(r.peak_mib > 0.0);
+        assert_eq!(r.tree, "abtree");
+        assert_eq!(r.scheme, "debra");
+    }
+
+    #[test]
+    fn af_label_and_freeing() {
+        let r = run_trial(&quick(TreeKind::Ab, SmrKind::TokenPeriodic).amortized());
+        assert_eq!(r.scheme, "token_af");
+        assert!(r.smr.freed > 0, "AF must actually free: {:?}", r.smr);
+    }
+
+    #[test]
+    fn timeline_and_garbage_capture() {
+        let cfg = quick(TreeKind::Ab, SmrKind::Debra).with_timeline().with_garbage_series();
+        let r = run_trial(&cfg);
+        let rec = r.recorder.as_ref().expect("recorder requested");
+        let events = rec.all_events();
+        assert!(!events.is_empty(), "timeline should capture batch frees / epochs");
+        let g = r.garbage.as_ref().expect("series requested");
+        assert!(!g.is_empty(), "garbage series should have epoch samples");
+    }
+
+    #[test]
+    fn summary_aggregates_trials() {
+        let s = run_trials(&quick(TreeKind::Dgt, SmrKind::Rcu), 2);
+        assert_eq!(s.throughput.count(), 2);
+        assert!(s.throughput.mean() > 0.0);
+        assert!(s.peak_mib.mean() > 0.0);
+        assert_eq!(s.threads, 2);
+    }
+
+    #[test]
+    fn leak_scheme_grows_garbage() {
+        let r = run_trial(&quick(TreeKind::Occ, SmrKind::None));
+        assert_eq!(r.smr.freed, 0);
+        assert!(r.smr.garbage > 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Timeline events: two timestamps, a kind, and a user value.
+
+/// What a recorded interval (or instant) represents. Encoded as `u16` in
+/// the event so the hot recording path stays branch-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum EventKind {
+    /// Time spent freeing a whole batch of nodes (the boxes of Fig. 2 and
+    /// the upper panels of Figs. 6–9). `value` = number of objects freed.
+    BatchFree = 0,
+    /// One individual `free` call (Fig. 3, Fig. 17). `value` = block addr
+    /// low bits (diagnostic only).
+    FreeCall = 1,
+    /// The thread advanced the global epoch / passed the token (the blue
+    /// dots). Instant: start == end. `value` = new epoch number.
+    EpochAdvance = 2,
+    /// The thread received the token (Token-EBR). `value` = epoch.
+    TokenReceive = 3,
+    /// A reader was neutralized and restarted (NBR). `value` = restart
+    /// count.
+    Neutralize = 4,
+    /// A data-structure operation interval (used by op-latency debugging).
+    Operation = 5,
+    /// Free-form user event.
+    Custom = 6,
+}
+
+impl EventKind {
+    /// Decodes the `u16` representation (inverse of `as u16`).
+    pub fn from_u16(raw: u16) -> EventKind {
+        match raw {
+            0 => EventKind::BatchFree,
+            1 => EventKind::FreeCall,
+            2 => EventKind::EpochAdvance,
+            3 => EventKind::TokenReceive,
+            4 => EventKind::Neutralize,
+            5 => EventKind::Operation,
+            _ => EventKind::Custom,
+        }
+    }
+
+    /// Short label used in CSV headers and SVG tooltips.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::BatchFree => "batch_free",
+            EventKind::FreeCall => "free_call",
+            EventKind::EpochAdvance => "epoch_advance",
+            EventKind::TokenReceive => "token_receive",
+            EventKind::Neutralize => "neutralize",
+            EventKind::Operation => "operation",
+            EventKind::Custom => "custom",
+        }
+    }
+
+    /// True for zero-duration marker events rendered as dots.
+    pub fn is_instant(self) -> bool {
+        matches!(self, EventKind::EpochAdvance | EventKind::TokenReceive | EventKind::Neutralize)
+    }
+}
+
+/// One recorded event: `[start_ns, end_ns]` on the shared process clock,
+/// a kind, and a user value. 32 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Interval start (shared-origin nanoseconds).
+    pub start_ns: u64,
+    /// Interval end; equals `start_ns` for instants.
+    pub end_ns: u64,
+    /// Event kind (see [`EventKind`]).
+    pub kind: u16,
+    /// Recording thread (filled by the recorder).
+    pub tid: u16,
+    /// User value (e.g. batch size, epoch number).
+    pub value: u64,
+}
+
+impl Event {
+    /// Interval length in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Decoded kind.
+    pub fn kind(&self) -> EventKind {
+        EventKind::from_u16(self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_roundtrip() {
+        for k in [
+            EventKind::BatchFree,
+            EventKind::FreeCall,
+            EventKind::EpochAdvance,
+            EventKind::TokenReceive,
+            EventKind::Neutralize,
+            EventKind::Operation,
+            EventKind::Custom,
+        ] {
+            assert_eq!(EventKind::from_u16(k as u16), k);
+        }
+        assert_eq!(EventKind::from_u16(999), EventKind::Custom);
+    }
+
+    #[test]
+    fn instants_are_marked() {
+        assert!(EventKind::EpochAdvance.is_instant());
+        assert!(!EventKind::BatchFree.is_instant());
+    }
+
+    #[test]
+    fn event_is_32_bytes() {
+        assert_eq!(std::mem::size_of::<Event>(), 32);
+    }
+
+    #[test]
+    fn duration_saturates() {
+        let e = Event {
+            start_ns: 100,
+            end_ns: 50,
+            kind: 0,
+            tid: 0,
+            value: 0,
+        };
+        assert_eq!(e.duration_ns(), 0);
+    }
+}

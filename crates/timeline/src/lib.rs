@@ -1,0 +1,32 @@
+//! # epic-timeline
+//!
+//! The paper's **timeline graphs** (§3.1): "a highly efficient mechanism to
+//! allow threads to record data (specifically two time stamps and a user
+//! specified value) in memory to be printed to files at the end of an
+//! experiment, with very little impact on performance."
+//!
+//! * [`Recorder`] — per-thread fixed-capacity event buffers; recording one
+//!   event is two timestamps and a handful of plain stores (~40 ns), no
+//!   atomics, no locks, no allocation after setup. When a buffer fills,
+//!   further events are counted but dropped (the paper records up to
+//!   100 000 events per thread without measurable impact).
+//! * [`render`] — produces the figures: SVG timeline graphs (rows =
+//!   threads, boxes = reclamation events, blue dots = epoch changes with a
+//!   bottom projection row — the exact visual grammar of Figures 2–9) and
+//!   ASCII timelines for terminal output.
+//! * [`series`] — (x, y) series used by the "number of garbage nodes per
+//!   epoch" lower panels of Figures 4 and 6–9, with CSV and sparkline
+//!   output.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod event;
+pub mod recorder;
+pub mod render;
+pub mod series;
+
+pub use event::{Event, EventKind};
+pub use recorder::Recorder;
+pub use render::{render_ascii, render_svg, visible_events, RenderOptions};
+pub use series::Series;

@@ -1,0 +1,314 @@
+//! Rendering timeline graphs.
+//!
+//! Reproduces the visual grammar of the paper's Figures 2–3 and 6–9:
+//! rows are threads, the x-axis is time, coloured boxes are interval events
+//! (alternating palette "to make it easier to differentiate neighbouring
+//! events"), blue dots are epoch changes, and every blue dot is also
+//! projected onto a bottom strip "to give a visual indication of how often
+//! the epoch changes overall".
+
+use crate::event::{Event, EventKind};
+use crate::recorder::Recorder;
+
+/// Options controlling both renderers.
+#[derive(Debug, Clone)]
+pub struct RenderOptions {
+    /// Only render this many thread rows (the paper shows 20 of 192).
+    pub max_rows: usize,
+    /// Clip to `[t0_ns, t1_ns)` on the shared clock; `None` = full range.
+    pub window_ns: Option<(u64, u64)>,
+    /// Drop interval events shorter than this (Fig. 9 shows only calls
+    /// longer than 0.1 ms).
+    pub min_duration_ns: u64,
+    /// Width of the drawing area in pixels (SVG) or columns (ASCII).
+    pub width: usize,
+    /// Height of one thread row in pixels (SVG only).
+    pub row_height: usize,
+    /// Chart title.
+    pub title: String,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            max_rows: 20,
+            window_ns: None,
+            min_duration_ns: 0,
+            width: 1000,
+            row_height: 14,
+            title: String::new(),
+        }
+    }
+}
+
+/// Alternating box palette (the paper colours neighbouring events
+/// differently).
+const PALETTE: [&str; 4] = ["#e6550d", "#31a354", "#756bb1", "#636363"];
+/// Epoch-advance dot colour ("blue dots").
+const DOT_COLOR: &str = "#1f77b4";
+
+struct Prepared {
+    rows: Vec<Vec<Event>>, // interval events per rendered thread row
+    dots: Vec<Event>,      // instant events (all threads, for projection)
+    t0: u64,
+    t1: u64,
+}
+
+fn prepare(rec: &Recorder, opts: &RenderOptions) -> Prepared {
+    let all = rec.all_events();
+    let (t0, mut t1) = opts.window_ns.unwrap_or_else(|| {
+        let lo = all.iter().map(|e| e.start_ns).min().unwrap_or(0);
+        let hi = all.iter().map(|e| e.end_ns).max().unwrap_or(1);
+        (lo, hi)
+    });
+    if t1 <= t0 {
+        t1 = t0 + 1;
+    }
+    let nrows = rec.max_threads().min(opts.max_rows);
+    let mut rows: Vec<Vec<Event>> = vec![Vec::new(); nrows];
+    let mut dots = Vec::new();
+    for e in all {
+        let visible = e.end_ns > t0 && e.start_ns < t1;
+        if !visible {
+            continue;
+        }
+        if e.kind().is_instant() {
+            dots.push(e);
+        } else if e.duration_ns() >= opts.min_duration_ns {
+            if let Some(row) = rows.get_mut(e.tid as usize) {
+                row.push(e);
+            }
+        }
+    }
+    Prepared { rows, dots, t0, t1 }
+}
+
+/// Renders an SVG timeline graph (string; no external dependencies).
+pub fn render_svg(rec: &Recorder, opts: &RenderOptions) -> String {
+    let p = prepare(rec, opts);
+    let span = (p.t1 - p.t0) as f64;
+    let w = opts.width as f64;
+    let rh = opts.row_height;
+    let margin_left = 46;
+    let title_h = if opts.title.is_empty() { 0 } else { 18 };
+    let proj_h = 10; // bottom projection strip
+    let height = title_h + p.rows.len() * rh + proj_h + 24;
+    let x_of = |ns: u64| margin_left as f64 + (ns.saturating_sub(p.t0)) as f64 / span * w;
+
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" font-family=\"sans-serif\" font-size=\"10\">\n",
+        margin_left + opts.width + 10,
+        height
+    ));
+    svg.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    if !opts.title.is_empty() {
+        svg.push_str(&format!(
+            "<text x=\"{}\" y=\"13\" font-size=\"12\">{}</text>\n",
+            margin_left,
+            xml_escape(&opts.title)
+        ));
+    }
+    // Thread rows with boxes.
+    for (row_idx, events) in p.rows.iter().enumerate() {
+        let y = title_h + row_idx * rh;
+        svg.push_str(&format!(
+            "<text x=\"2\" y=\"{}\" fill=\"#444\">T{}</text>\n",
+            y + rh - 3,
+            row_idx
+        ));
+        for (i, e) in events.iter().enumerate() {
+            let x = x_of(e.start_ns.max(p.t0));
+            let xe = x_of(e.end_ns.min(p.t1));
+            let bw = (xe - x).max(0.5);
+            let color = PALETTE[i % PALETTE.len()];
+            svg.push_str(&format!(
+                "<rect x=\"{x:.2}\" y=\"{}\" width=\"{bw:.2}\" height=\"{}\" fill=\"{color}\"><title>{}: {} ns, value {}</title></rect>\n",
+                y + 1,
+                rh - 2,
+                e.kind().label(),
+                e.duration_ns(),
+                e.value
+            ));
+        }
+    }
+    // Blue dots on their rows plus the projection strip.
+    let proj_y = title_h + p.rows.len() * rh + 4;
+    for e in &p.dots {
+        let x = x_of(e.start_ns);
+        if (e.tid as usize) < p.rows.len() {
+            let y = title_h + e.tid as usize * rh + rh / 2;
+            svg.push_str(&format!(
+                "<circle cx=\"{x:.2}\" cy=\"{y}\" r=\"2\" fill=\"{DOT_COLOR}\"/>\n"
+            ));
+        }
+        svg.push_str(&format!(
+            "<circle cx=\"{x:.2}\" cy=\"{}\" r=\"1.5\" fill=\"{DOT_COLOR}\"/>\n",
+            proj_y + 3
+        ));
+    }
+    // Time axis label.
+    svg.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" fill=\"#444\">{:.1} ms window</text>\n",
+        margin_left,
+        height - 6,
+        span / 1e6
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Renders an ASCII timeline: one line per thread, `#` where an interval
+/// event covers the bucket, `.` where idle; a bottom `^` projection line
+/// marks epoch advances.
+pub fn render_ascii(rec: &Recorder, opts: &RenderOptions) -> String {
+    let p = prepare(rec, opts);
+    let span = (p.t1 - p.t0) as f64;
+    let cols = opts.width.clamp(10, 400);
+    let col_of = |ns: u64| {
+        (((ns.saturating_sub(p.t0)) as f64 / span) * cols as f64).floor().min(cols as f64 - 1.0)
+            as usize
+    };
+
+    let mut out = String::new();
+    if !opts.title.is_empty() {
+        out.push_str(&opts.title);
+        out.push('\n');
+    }
+    for (row_idx, events) in p.rows.iter().enumerate() {
+        let mut line = vec![b'.'; cols];
+        for e in events {
+            let c0 = col_of(e.start_ns.max(p.t0));
+            let c1 = col_of(e.end_ns.min(p.t1).max(e.start_ns));
+            for cell in &mut line[c0..=c1] {
+                *cell = b'#';
+            }
+        }
+        // Overlay dots for this row.
+        for d in p.dots.iter().filter(|d| d.tid as usize == row_idx) {
+            line[col_of(d.start_ns)] = b'o';
+        }
+        out.push_str(&format!("T{row_idx:>3} |"));
+        out.push_str(std::str::from_utf8(&line).expect("ascii"));
+        out.push('\n');
+    }
+    // Projection strip.
+    let mut strip = vec![b' '; cols];
+    for d in &p.dots {
+        strip[col_of(d.start_ns)] = b'^';
+    }
+    out.push_str("epoch|");
+    out.push_str(std::str::from_utf8(&strip).expect("ascii"));
+    out.push('\n');
+    out.push_str(&format!("      window = {:.3} ms\n", span / 1e6));
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Filters a recorder's events to those of one kind with duration ≥
+/// `min_ns` — the Appendix F "visible free calls" analysis (Fig. 17).
+pub fn visible_events(rec: &Recorder, kind: EventKind, min_ns: u64) -> Vec<Event> {
+    rec.all_events()
+        .into_iter()
+        .filter(|e| e.kind() == kind && e.duration_ns() >= min_ns)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_recorder() -> Recorder {
+        let r = Recorder::new(3, 64);
+        r.record(0, EventKind::BatchFree, 1_000, 5_000, 10);
+        r.record(0, EventKind::BatchFree, 6_000, 7_000, 3);
+        r.record(1, EventKind::BatchFree, 2_000, 9_000, 20);
+        r.record(2, EventKind::FreeCall, 4_000, 4_100, 0);
+        r.record(0, EventKind::EpochAdvance, 5_500, 5_500, 1);
+        r.record(1, EventKind::EpochAdvance, 8_000, 8_000, 2);
+        r
+    }
+
+    #[test]
+    fn svg_contains_rows_boxes_and_dots() {
+        let r = sample_recorder();
+        let svg = render_svg(&r, &RenderOptions {
+            title: "test".into(),
+            ..Default::default()
+        });
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("</svg>"));
+        assert!(svg.matches("<rect").count() >= 4, "expect boxes plus background");
+        // 2 dots x (row + projection) = 4 circles.
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains(">T0<") && svg.contains(">T2<"));
+        assert!(svg.contains("test"));
+    }
+
+    #[test]
+    fn ascii_marks_busy_and_epochs() {
+        let r = sample_recorder();
+        let art = render_ascii(&r, &RenderOptions {
+            width: 40,
+            ..Default::default()
+        });
+        assert!(art.contains('#'), "busy cells");
+        assert!(art.contains('^'), "projection strip");
+        assert!(art.lines().count() >= 5, "3 rows + strip + footer");
+    }
+
+    #[test]
+    fn window_clips_events() {
+        let r = sample_recorder();
+        let opts = RenderOptions {
+            window_ns: Some((6_500, 9_500)),
+            width: 40,
+            ..Default::default()
+        };
+        let art = render_ascii(&r, &opts);
+        // Thread 0's 1k-5k batch is outside the window; T0's row shows only
+        // the tail of its 6-7k event.
+        let t0_line = art.lines().find(|l| l.starts_with("T  0")).unwrap();
+        assert!(t0_line.contains('#'));
+        let svg = render_svg(&r, &opts);
+        assert!(svg.contains("3.0 ms window") || svg.contains("0.0 ms window"));
+    }
+
+    #[test]
+    fn min_duration_filters_short_events() {
+        let r = sample_recorder();
+        let opts = RenderOptions {
+            min_duration_ns: 2_000,
+            width: 40,
+            ..Default::default()
+        };
+        let art = render_ascii(&r, &opts);
+        let t2_line = art.lines().find(|l| l.starts_with("T  2")).unwrap();
+        assert!(!t2_line.contains('#'), "100ns free call must be filtered: {t2_line}");
+    }
+
+    #[test]
+    fn visible_events_filter() {
+        let r = sample_recorder();
+        let vis = visible_events(&r, EventKind::BatchFree, 3_000);
+        assert_eq!(vis.len(), 2, "4000ns and 7000ns batches");
+        assert!(visible_events(&r, EventKind::FreeCall, 1_000).is_empty());
+    }
+
+    #[test]
+    fn empty_recorder_renders_without_panic() {
+        let r = Recorder::new(2, 4);
+        let svg = render_svg(&r, &RenderOptions::default());
+        assert!(svg.contains("</svg>"));
+        let art = render_ascii(&r, &RenderOptions::default());
+        assert!(art.contains("epoch|"));
+    }
+
+    #[test]
+    fn xml_escaping() {
+        assert_eq!(xml_escape("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+}

@@ -1,0 +1,200 @@
+//! (x, y) series: the "number of garbage nodes in each epoch" panels.
+//!
+//! Figures 4 and 6–9 plot, per epoch, the total unreclaimed garbage across
+//! all threads' limbo bags at epoch entry. SMR schemes append points here;
+//! the harness renders CSV and a terminal sparkline.
+
+use parking_lot::Mutex;
+
+/// A named, append-only (x, y) series.
+#[derive(Debug, Default)]
+pub struct Series {
+    name: String,
+    points: Mutex<Vec<(f64, f64)>>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point (thread-safe; called from whichever thread advances
+    /// the epoch).
+    pub fn push(&self, x: f64, y: f64) {
+        self.points.lock().push((x, y));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.lock().len()
+    }
+
+    /// True if the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.lock().is_empty()
+    }
+
+    /// A sorted-by-x copy of the points.
+    pub fn sorted_points(&self) -> Vec<(f64, f64)> {
+        let mut pts = self.points.lock().clone();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        pts
+    }
+
+    /// Largest y value (0 if empty).
+    pub fn max_y(&self) -> f64 {
+        self.points.lock().iter().map(|p| p.1).fold(0.0, f64::max)
+    }
+
+    /// Mean y value (0 if empty).
+    pub fn mean_y(&self) -> f64 {
+        let pts = self.points.lock();
+        if pts.is_empty() {
+            return 0.0;
+        }
+        pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64
+    }
+
+    /// Number of *peaks*: points strictly greater than both neighbours.
+    /// The paper's Fig. 4 observation is that amortized freeing
+    /// "substantially reduces the number of peaks".
+    pub fn peak_count(&self) -> usize {
+        let pts = self.sorted_points();
+        pts.windows(3).filter(|w| w[1].1 > w[0].1 && w[1].1 > w[2].1).count()
+    }
+
+    /// CSV with header `x,y`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("x,y\n");
+        for (x, y) in self.sorted_points() {
+            out.push_str(&format!("{x},{y}\n"));
+        }
+        out
+    }
+
+    /// A one-line unicode sparkline of y over sorted x, `width` buckets
+    /// wide (mean-pooled).
+    pub fn sparkline(&self, width: usize) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let pts = self.sorted_points();
+        if pts.is_empty() || width == 0 {
+            return String::new();
+        }
+        let max = self.max_y().max(1e-12);
+        let mut out = String::with_capacity(width * 3);
+        for b in 0..width {
+            let lo = b * pts.len() / width;
+            let hi = (((b + 1) * pts.len()) / width).max(lo + 1).min(pts.len());
+            if lo >= pts.len() {
+                break;
+            }
+            let mean: f64 = pts[lo..hi].iter().map(|p| p.1).sum::<f64>() / (hi - lo) as f64;
+            let idx = ((mean / max) * 7.0).round().clamp(0.0, 7.0) as usize;
+            out.push(BARS[idx]);
+        }
+        out
+    }
+
+    /// Writes the CSV to a path, creating parent directories.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_stats() {
+        let s = Series::new("garbage");
+        s.push(0.0, 10.0);
+        s.push(1.0, 30.0);
+        s.push(2.0, 20.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_y(), 30.0);
+        assert!((s.mean_y() - 20.0).abs() < 1e-12);
+        assert_eq!(s.name(), "garbage");
+    }
+
+    #[test]
+    fn peaks_counted() {
+        let s = Series::new("p");
+        // y: 1, 5, 2, 8, 3 -> peaks at 5 and 8.
+        for (i, y) in [1.0, 5.0, 2.0, 8.0, 3.0].into_iter().enumerate() {
+            s.push(i as f64, y);
+        }
+        assert_eq!(s.peak_count(), 2);
+    }
+
+    #[test]
+    fn sorted_by_x_regardless_of_insertion() {
+        let s = Series::new("p");
+        s.push(2.0, 20.0);
+        s.push(0.0, 0.0);
+        s.push(1.0, 10.0);
+        let xs: Vec<f64> = s.sorted_points().iter().map(|p| p.0).collect();
+        assert_eq!(xs, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn csv_format() {
+        let s = Series::new("p");
+        s.push(1.0, 2.5);
+        assert_eq!(s.to_csv(), "x,y\n1,2.5\n");
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        let s = Series::new("p");
+        for i in 0..100 {
+            s.push(i as f64, i as f64);
+        }
+        let line = s.sparkline(10);
+        assert_eq!(line.chars().count(), 10);
+        let first = line.chars().next().unwrap();
+        let last = line.chars().last().unwrap();
+        assert!(first < last, "monotone series should produce rising sparkline");
+    }
+
+    #[test]
+    fn empty_series_harmless() {
+        let s = Series::new("e");
+        assert!(s.is_empty());
+        assert_eq!(s.sparkline(10), "");
+        assert_eq!(s.peak_count(), 0);
+        assert_eq!(s.mean_y(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_pushes() {
+        use std::sync::Arc;
+        let s = Arc::new(Series::new("c"));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        s.push((t * 250 + i) as f64, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 1000);
+    }
+}

@@ -1,0 +1,124 @@
+//! Exponential backoff for contended retry loops.
+//!
+//! Contended CAS loops and spin locks burn coherence bandwidth; truncated
+//! exponential backoff (spin a growing number of `pause` instructions, then
+//! fall back to `yield_now`) is the standard remedy. The shape follows
+//! crossbeam's `Backoff` so call sites read idiomatically.
+
+use std::hint;
+use std::thread;
+
+/// Maximum exponent for pure spinning; beyond this we also yield the thread.
+const SPIN_LIMIT: u32 = 6;
+/// Maximum exponent overall; backoff saturates here.
+const YIELD_LIMIT: u32 = 10;
+
+/// Truncated exponential backoff helper.
+///
+/// ```
+/// use epic_util::Backoff;
+/// use std::sync::atomic::{AtomicBool, Ordering};
+///
+/// let flag = AtomicBool::new(true);
+/// let backoff = Backoff::new();
+/// while !flag.load(Ordering::Acquire) {
+///     backoff.snooze();
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Backoff {
+    step: core::cell::Cell<u32>,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Backoff {
+    /// Creates a backoff in its initial (shortest-wait) state.
+    pub const fn new() -> Self {
+        Backoff {
+            step: core::cell::Cell::new(0),
+        }
+    }
+
+    /// Resets to the initial state; call after the contended operation
+    /// finally succeeds so the next contention episode starts cheap.
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Backs off in a lock-free retry loop (spin only, never yields).
+    ///
+    /// Use this when the failed operation implies *another thread made
+    /// progress* (e.g. a failed CAS), so waiting briefly is enough.
+    pub fn spin(&self) {
+        let step = self.step.get().min(SPIN_LIMIT);
+        for _ in 0..(1u32 << step) {
+            hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Backs off while *blocked* on another thread (e.g. waiting for a lock
+    /// holder); escalates from spinning to `thread::yield_now`.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << step) {
+                hint::spin_loop();
+            }
+        } else {
+            thread::yield_now();
+        }
+        if step <= YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// True once backoff has escalated past pure spinning; callers that can
+    /// park or otherwise deschedule should do so at this point.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_saturates() {
+        let b = Backoff::new();
+        for _ in 0..100 {
+            b.spin();
+        }
+        // `spin` never escalates past SPIN_LIMIT + 1.
+        assert!(b.step.get() <= SPIN_LIMIT + 1);
+    }
+
+    #[test]
+    fn snooze_completes() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..(YIELD_LIMIT + 2) {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+    }
+
+    #[test]
+    fn reset_restarts_cheap() {
+        let b = Backoff::new();
+        for _ in 0..20 {
+            b.snooze();
+        }
+        b.reset();
+        assert!(!b.is_completed());
+        assert_eq!(b.step.get(), 0);
+    }
+}

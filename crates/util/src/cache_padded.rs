@@ -1,0 +1,120 @@
+//! Cache-line padding to prevent false sharing.
+//!
+//! Modern x86-64 parts fetch cache lines in aligned 64-byte units but the
+//! adjacent-line prefetcher effectively couples *pairs* of lines, so we pad to
+//! 128 bytes (the same choice crossbeam and folly make). On a benchmark whose
+//! entire point is isolating allocator-induced contention, false sharing in
+//! the measurement infrastructure would be a confounder.
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so that it occupies its own cache
+/// line(s).
+///
+/// ```
+/// use epic_util::CachePadded;
+/// use std::sync::atomic::AtomicU64;
+///
+/// struct PerThread {
+///     counter: CachePadded<AtomicU64>,
+/// }
+/// let slot = PerThread { counter: CachePadded::new(AtomicU64::new(0)) };
+/// assert_eq!(std::mem::align_of_val(&slot.counter), 128);
+/// ```
+#[derive(Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in a 128-byte aligned container.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Consumes the padding wrapper, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T: Clone> Clone for CachePadded<T> {
+    fn clone(&self) -> Self {
+        CachePadded::new(self.value.clone())
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::mem;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn alignment_is_128() {
+        assert_eq!(mem::align_of::<CachePadded<u8>>(), 128);
+        assert_eq!(mem::align_of::<CachePadded<AtomicUsize>>(), 128);
+    }
+
+    #[test]
+    fn size_is_multiple_of_alignment() {
+        assert_eq!(mem::size_of::<CachePadded<u8>>(), 128);
+        assert_eq!(mem::size_of::<CachePadded<[u64; 20]>>(), 256);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut padded = CachePadded::new(41u64);
+        *padded += 1;
+        assert_eq!(*padded, 42);
+        assert_eq!(padded.into_inner(), 42);
+    }
+
+    #[test]
+    fn array_of_padded_slots_do_not_share_lines() {
+        let slots: [CachePadded<u64>; 4] = Default::default();
+        let base = &slots[0] as *const _ as usize;
+        for (i, s) in slots.iter().enumerate() {
+            let addr = s as *const _ as usize;
+            assert_eq!((addr - base) % 128, 0, "slot {i} not line-aligned");
+        }
+    }
+
+    #[test]
+    fn clone_and_debug() {
+        let a = CachePadded::new(7u32);
+        let b = a.clone();
+        assert_eq!(*b, 7);
+        assert!(format!("{a:?}").contains('7'));
+    }
+}

@@ -1,0 +1,108 @@
+//! Indexed per-thread slots.
+//!
+//! The whole workspace identifies threads by dense `tid` indices handed out
+//! by the SMR registry. `TidSlots<T>` is the standard "indexed thread-local"
+//! pattern: a boxed array of cache-padded `UnsafeCell`s where slot `i` is
+//! only ever dereferenced by the thread operating as tid `i`.
+
+use crate::cache_padded::CachePadded;
+use std::cell::UnsafeCell;
+
+/// Per-thread slots owned by their tid.
+///
+/// The contained `UnsafeCell` is only dereferenced by the owning thread:
+/// every API in this workspace that accepts a `tid` carries the contract
+/// that a given tid is used by at most one thread at a time.
+pub struct TidSlots<T> {
+    slots: Box<[CachePadded<UnsafeCell<T>>]>,
+}
+
+// SAFETY: see type docs — slot `i` is only dereferenced by the thread
+// registered as tid `i`; the slots themselves are Send.
+unsafe impl<T: Send> Sync for TidSlots<T> {}
+unsafe impl<T: Send> Send for TidSlots<T> {}
+
+impl<T> TidSlots<T> {
+    /// Builds `n` slots from a constructor.
+    pub fn new_with(n: usize, mut make: impl FnMut(usize) -> T) -> Self {
+        let slots = (0..n)
+            .map(|i| CachePadded::new(UnsafeCell::new(make(i))))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        TidSlots { slots }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Mutable access to `tid`'s slot.
+    ///
+    /// # Safety
+    /// Caller must be the unique thread operating as `tid`.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn get_mut(&self, tid: usize) -> &mut T {
+        // SAFETY: tid-exclusivity is the caller's contract.
+        unsafe { &mut *self.slots[tid].get() }
+    }
+
+    /// Shared access to `tid`'s slot for cross-thread *reading*.
+    ///
+    /// # Safety
+    /// Caller must guarantee either that the owner is quiescent, or that the
+    /// read tolerates racing with the owner's writes (e.g. monotonic
+    /// counters read for reporting).
+    #[inline]
+    pub unsafe fn peek(&self, tid: usize) -> &T {
+        // SAFETY: forwarded to caller.
+        unsafe { &*self.slots[tid].get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_independent() {
+        let slots: TidSlots<Vec<u32>> = TidSlots::new_with(3, |i| vec![i as u32]);
+        // SAFETY: single-threaded test.
+        unsafe {
+            slots.get_mut(0).push(10);
+            slots.get_mut(2).push(20);
+            assert_eq!(slots.peek(0).as_slice(), &[0, 10]);
+            assert_eq!(slots.peek(1).as_slice(), &[1]);
+            assert_eq!(slots.peek(2).as_slice(), &[2, 20]);
+        }
+    }
+
+    #[test]
+    fn cross_thread_ownership_handoff() {
+        use std::sync::Arc;
+        let slots: Arc<TidSlots<u64>> = Arc::new(TidSlots::new_with(4, |_| 0));
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let slots = Arc::clone(&slots);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        // SAFETY: each thread uses its own tid.
+                        unsafe { *slots.get_mut(tid) += 1 };
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: all owners joined; we have exclusive access.
+        let total: u64 = (0..4).map(|i| unsafe { *slots.peek(i) }).sum();
+        assert_eq!(total, 4000);
+    }
+}

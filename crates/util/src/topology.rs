@@ -1,0 +1,134 @@
+//! System topology discovery and experiment-scale derivation.
+//!
+//! The paper runs on a 4-socket, 192-hardware-thread Xeon with thread counts
+//! {6, 12, 24, 36, 48, 96, 144, 192}. This module maps that *shape* — a sweep
+//! from a fraction of the machine to 2× oversubscription — onto whatever
+//! machine the reproduction runs on, and honours environment overrides so the
+//! benches scale up on larger hardware.
+
+use std::env;
+
+/// Discovered machine topology plus experiment scaling rules.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Logical CPUs available to this process.
+    pub logical_cpus: usize,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::detect()
+    }
+}
+
+impl Topology {
+    /// Detects the current machine.
+    pub fn detect() -> Self {
+        let logical_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Topology { logical_cpus }
+    }
+
+    /// Constructs a fixed topology (tests, presets of the paper's machines).
+    pub fn with_cpus(logical_cpus: usize) -> Self {
+        Topology { logical_cpus }
+    }
+
+    /// The thread-count sweep used by sweep experiments.
+    ///
+    /// Honors `EPIC_THREADS` (comma-separated list) when set; otherwise
+    /// produces powers of two from 1 up to 2× the logical CPU count — the
+    /// same saturation→oversubscription shape as the paper's 6..192 sweep
+    /// (192 HW threads, with the last points past single-socket capacity).
+    pub fn sweep_threads(&self) -> Vec<usize> {
+        if let Some(list) = env_usize_list("EPIC_THREADS") {
+            return list;
+        }
+        let max = (self.logical_cpus * 2).max(2);
+        let mut counts = Vec::new();
+        let mut n = 1;
+        while n < max {
+            counts.push(n);
+            n *= 2;
+        }
+        counts.push(max);
+        counts
+    }
+
+    /// The "192 threads" of the paper: the most oversubscribed point of the
+    /// sweep, used by the fixed-thread-count tables (Tables 2–4, Fig. 11b).
+    pub fn max_threads(&self) -> usize {
+        *self.sweep_threads().last().expect("sweep is never empty")
+    }
+
+    /// A "moderate" thread count corresponding to the paper's 96-thread
+    /// (half-scale) data points.
+    pub fn mid_threads(&self) -> usize {
+        (self.max_threads() / 2).max(1)
+    }
+}
+
+fn env_usize_list(key: &str) -> Option<Vec<usize>> {
+    let raw = env::var(key).ok()?;
+    let parsed: Vec<usize> = raw
+        .split(',')
+        .filter(|s| !s.trim().is_empty())
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    if parsed.is_empty() {
+        None
+    } else {
+        Some(parsed)
+    }
+}
+
+/// Reads a `usize` experiment parameter from the environment with a default.
+pub fn env_usize(key: &str, default: usize) -> usize {
+    env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+/// Reads a `u64` experiment parameter from the environment with a default.
+pub fn env_u64(key: &str, default: u64) -> u64 {
+    env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_reports_at_least_one_cpu() {
+        assert!(Topology::detect().logical_cpus >= 1);
+    }
+
+    #[test]
+    fn sweep_shape() {
+        let t = Topology::with_cpus(4);
+        // Ignore env override for a deterministic check by computing directly.
+        let sweep = {
+            let max = t.logical_cpus * 2;
+            let mut v = vec![];
+            let mut n = 1;
+            while n < max {
+                v.push(n);
+                n *= 2;
+            }
+            v.push(max);
+            v
+        };
+        assert_eq!(sweep, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn max_is_twice_cpus_without_override() {
+        if std::env::var("EPIC_THREADS").is_err() {
+            let t = Topology::with_cpus(8);
+            assert_eq!(t.max_threads(), 16);
+            assert_eq!(t.mid_threads(), 8);
+        }
+    }
+
+    #[test]
+    fn env_usize_default_applies() {
+        assert_eq!(env_usize("EPIC_DOES_NOT_EXIST_XYZ", 17), 17);
+    }
+}

@@ -1,0 +1,46 @@
+//! The road the paper did not take: object pooling (footnote 4) next to
+//! amortized freeing (§3.3) and classic batch freeing.
+//!
+//! Amortized free keeps the allocator in the loop but feeds it objects one
+//! at a time, so its thread caches absorb and locally recycle them. Pooling
+//! skips the allocator altogether — the same trick Version Based
+//! Reclamation uses, which footnote 4 credits for VBR beating
+//! allocator-interacting EBRs. The cost: pooled memory is invisible to the
+//! allocator, so nothing else in the process can ever reuse it.
+//!
+//! ```text
+//! cargo run --release --example pooled_vs_amortized
+//! ```
+
+use epochs_too_epic::ds::TreeKind;
+use epochs_too_epic::harness::{run_trial, WorkloadCfg};
+use epochs_too_epic::smr::{FreeMode, SmrKind};
+
+fn main() {
+    let threads = 4;
+    println!("ABtree + DEBRA on the jemalloc model, three disposal policies:\n");
+    println!(
+        "{:<12} {:>9} {:>10} {:>10} {:>12} {:>9} {:>9}",
+        "policy", "Mops/s", "freed", "pool hits", "alloc calls", "flushes", "remote"
+    );
+    for mode in [FreeMode::Batch, FreeMode::amortized(), FreeMode::Pooled] {
+        let mut cfg = WorkloadCfg::new(TreeKind::Ab, SmrKind::Debra, threads).with_mode(mode);
+        cfg.millis = 250;
+        let r = run_trial(&cfg);
+        println!(
+            "{:<12} {:>9.2} {:>10} {:>10} {:>12} {:>9} {:>9}",
+            r.scheme,
+            r.throughput / 1e6,
+            r.smr.freed,
+            r.smr.pool_hits,
+            r.alloc.totals.allocs,
+            r.alloc.totals.flushes,
+            r.alloc.totals.remote_freed,
+        );
+    }
+    println!(
+        "\ntakeaway: both fixes kill the remote-batch-free problem (flushes/remote ~0).\n\
+         Amortized free does it while still returning memory to the allocator —\n\
+         the paper's point: allocator interaction can be made fast, not avoided."
+    );
+}

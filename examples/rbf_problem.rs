@@ -1,0 +1,41 @@
+//! The remote-batch-free problem, §3 of the paper, as a demo you can watch:
+//! the *same* data structure, scheme, and workload — only the free policy
+//! differs — and the allocator counters tell the whole story.
+//!
+//! ```text
+//! cargo run --release --example rbf_problem
+//! ```
+
+use epochs_too_epic::ds::TreeKind;
+use epochs_too_epic::harness::{run_trial, WorkloadCfg};
+use epochs_too_epic::smr::SmrKind;
+
+fn main() {
+    let threads = epochs_too_epic::util::Topology::detect().logical_cpus * 2;
+    println!("ABtree + DEBRA on the jemalloc model, {threads} threads, 50/50 insert/delete\n");
+
+    for (label, amortize) in [("BATCH FREE (the anti-pattern)", false), ("AMORTIZED FREE (the fix)", true)] {
+        let mut cfg = WorkloadCfg::new(TreeKind::Ab, SmrKind::Debra, threads);
+        cfg.millis = 500;
+        if amortize {
+            cfg = cfg.amortized();
+        }
+        let r = run_trial(&cfg);
+        let a = &r.alloc.totals;
+        println!("── {label}");
+        println!("   throughput        {:>10.2} M ops/s", r.throughput / 1e6);
+        println!("   objects freed     {:>10}", r.smr.freed);
+        println!("   tcache flushes    {:>10}", a.flushes);
+        println!("   remote frees      {:>10}   (objects returned to other threads' arenas)", a.remote_freed);
+        println!("   % time freeing    {:>10.1}", r.pct_free(threads));
+        println!("   % time in flush   {:>10.1}", r.pct_flush(threads));
+        println!("   % time lock-spin  {:>10.1}", r.pct_lock(threads));
+        println!();
+    }
+    println!(
+        "The batch run overflows the thread caches, forcing objects back to their\n\
+         owners' arenas under contended locks (je_tcache_bin_flush_small). The\n\
+         amortized run frees one object per allocation: the cache absorbs each one\n\
+         and the next allocation reuses it locally — flushes and remote frees vanish."
+    );
+}

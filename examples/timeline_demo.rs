@@ -1,0 +1,46 @@
+//! Timeline graphs (§3.1): record reclamation events during a run and
+//! render the paper's visualization — thread rows, batch-free boxes, blue
+//! epoch dots with a projection strip — as ASCII (here) and SVG (written
+//! to results/).
+//!
+//! ```text
+//! cargo run --release --example timeline_demo
+//! ```
+
+use epochs_too_epic::ds::TreeKind;
+use epochs_too_epic::harness::{results_dir, run_trial, WorkloadCfg};
+use epochs_too_epic::smr::SmrKind;
+use epochs_too_epic::timeline::{render_ascii, render_svg, RenderOptions};
+
+fn main() {
+    let threads = epochs_too_epic::util::Topology::detect().logical_cpus * 2;
+    let mut cfg = WorkloadCfg::new(TreeKind::Ab, SmrKind::Debra, threads)
+        .with_timeline()
+        .with_garbage_series();
+    cfg.millis = 400;
+
+    let r = run_trial(&cfg);
+    let rec = r.recorder.as_ref().expect("timeline enabled");
+
+    let opts = RenderOptions {
+        title: format!("DEBRA batch frees, {threads} threads (boxes = batch frees, o/^ = epoch advances)"),
+        width: 110,
+        max_rows: threads,
+        ..Default::default()
+    };
+    println!("{}", render_ascii(rec, &opts));
+
+    let svg_path = results_dir().join("timeline_demo.svg");
+    std::fs::write(&svg_path, render_svg(rec, &opts)).expect("write svg");
+    println!("full SVG written to {}", svg_path.display());
+
+    if let Some(series) = &r.garbage {
+        println!(
+            "\ngarbage per epoch ({} epochs, mean {:.0}, max {:.0}):\n{}",
+            series.len(),
+            series.mean_y(),
+            series.max_y(),
+            series.sparkline(100)
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! The §4 progression: four Token-EBR variants on the same workload,
+//! reproducing Table 4's story — why the naive ring fails, and why
+//! amortized freeing turns the simplest EBR into the fastest.
+//!
+//! ```text
+//! cargo run --release --example token_ebr_variants
+//! ```
+
+use epochs_too_epic::ds::TreeKind;
+use epochs_too_epic::harness::{run_trial, WorkloadCfg};
+use epochs_too_epic::smr::{FreeMode, SmrKind};
+
+fn main() {
+    let threads = epochs_too_epic::util::Topology::detect().logical_cpus * 2;
+    println!("ABtree, {threads} threads — the Token-EBR design walk of §4:\n");
+    let variants: [(&str, SmrKind, FreeMode, &str); 4] = [
+        (
+            "Naive      (free, swap, pass)",
+            SmrKind::TokenNaive,
+            FreeMode::Batch,
+            "reclamation serializes around the ring; garbage piles up",
+        ),
+        (
+            "Pass-first (pass, then free)",
+            SmrKind::TokenPassFirst,
+            FreeMode::Batch,
+            "concurrent frees, but long frees still delay the next receipt",
+        ),
+        (
+            "Periodic   (re-check every k frees)",
+            SmrKind::TokenPeriodic,
+            FreeMode::Batch,
+            "token keeps moving, yet single long free calls still stall it",
+        ),
+        (
+            "Amortized  (token_af)",
+            SmrKind::TokenPeriodic,
+            FreeMode::Amortized { per_op: 1 },
+            "the paper's headline algorithm",
+        ),
+    ];
+    for (label, kind, mode, note) in variants {
+        let mut cfg = WorkloadCfg::new(TreeKind::Ab, kind, threads).with_mode(mode);
+        cfg.millis = 400;
+        let r = run_trial(&cfg);
+        println!(
+            "{label:<38} {:>7.2} M ops/s  freed {:>9}  garbage left {:>9}  // {note}",
+            r.throughput / 1e6,
+            r.smr.freed,
+            r.smr.garbage
+        );
+    }
+}
