@@ -86,7 +86,9 @@ impl BlockHeader {
 #[inline]
 pub unsafe fn set_birth_era(user: NonNull<u8>, era: u64) {
     // SAFETY: forwarded to caller.
-    unsafe { BlockHeader::from_user(user) }.birth_era.store(era, Ordering::Release);
+    unsafe { BlockHeader::from_user(user) }
+        .birth_era
+        .store(era, Ordering::Release);
 }
 
 /// Reads the SMR birth era of a block.
@@ -96,7 +98,9 @@ pub unsafe fn set_birth_era(user: NonNull<u8>, era: u64) {
 #[inline]
 pub unsafe fn birth_era(user: NonNull<u8>) -> u64 {
     // SAFETY: forwarded to caller.
-    unsafe { BlockHeader::from_user(user) }.birth_era.load(Ordering::Acquire)
+    unsafe { BlockHeader::from_user(user) }
+        .birth_era
+        .load(Ordering::Acquire)
 }
 
 /// An intrusive singly-linked free list of blocks, threaded through
@@ -245,11 +249,18 @@ mod tests {
         }
         for w in blocks.windows(2) {
             // SAFETY: initialized above.
-            let (a, b) = unsafe { (&*(w[0].0 as *const BlockHeader), &*(w[1].0 as *const BlockHeader)) };
+            let (a, b) = unsafe {
+                (
+                    &*(w[0].0 as *const BlockHeader),
+                    &*(w[1].0 as *const BlockHeader),
+                )
+            };
             a.next.store(b.addr(), Ordering::Relaxed);
         }
         // SAFETY: last block terminates the chain.
-        unsafe { &*(blocks[3].0 as *const BlockHeader) }.next.store(0, Ordering::Relaxed);
+        unsafe { &*(blocks[3].0 as *const BlockHeader) }
+            .next
+            .store(0, Ordering::Relaxed);
 
         let mut list = FreeList::new();
         // SAFETY: chain is valid and exclusively ours.

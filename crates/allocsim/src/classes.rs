@@ -6,8 +6,9 @@
 //! class are unsupported (the workloads never make them) and panic loudly.
 
 /// The user-visible size of each class, ascending.
-pub const CLASS_SIZES: [usize; 16] =
-    [16, 32, 48, 64, 80, 96, 128, 160, 192, 256, 320, 384, 512, 1024, 2048, 4096];
+pub const CLASS_SIZES: [usize; 16] = [
+    16, 32, 48, 64, 80, 96, 128, 160, 192, 256, 320, 384, 512, 1024, 2048, 4096,
+];
 
 /// Number of size classes.
 pub const NUM_CLASSES: usize = CLASS_SIZES.len();

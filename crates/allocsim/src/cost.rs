@@ -143,7 +143,10 @@ mod tests {
         for _ in 0..1000 {
             c.remote_object();
         }
-        assert!(t.elapsed_ns() < 10_000_000, "zero cost model should be ~free");
+        assert!(
+            t.elapsed_ns() < 10_000_000,
+            "zero cost model should be ~free"
+        );
     }
 
     #[test]

@@ -345,7 +345,11 @@ mod tests {
         unsafe {
             std::ptr::write_bytes(a.as_ptr(), 1, 64);
             std::ptr::write_bytes(b.as_ptr(), 2, 256);
-            assert_eq!(*a.as_ptr(), 1, "class-64 block clobbered by class-256 write");
+            assert_eq!(
+                *a.as_ptr(),
+                1,
+                "class-64 block clobbered by class-256 write"
+            );
         }
         m.dealloc(0, a);
         m.dealloc(0, b);
@@ -380,7 +384,10 @@ mod tests {
         .join()
         .unwrap();
         let s = m.thread_stats(1);
-        assert!(s.remote_freed > 0, "cross-thread frees must count as remote: {s:?}");
+        assert!(
+            s.remote_freed > 0,
+            "cross-thread frees must count as remote: {s:?}"
+        );
     }
 
     #[test]
@@ -408,7 +415,11 @@ mod tests {
             let p = m.alloc(0, 64);
             m.dealloc(0, p);
         }
-        assert_eq!(m.peak_bytes(), after_churn, "steady churn must not grow memory");
+        assert_eq!(
+            m.peak_bytes(),
+            after_churn,
+            "steady churn must not grow memory"
+        );
     }
 
     #[test]
@@ -488,7 +499,10 @@ mod tests {
             let _ = m.alloc(0, 64);
         }
         let s = m.thread_stats(0);
-        assert_eq!(s.refills, refills_before, "warm bin must serve allocations: {s:?}");
+        assert_eq!(
+            s.refills, refills_before,
+            "warm bin must serve allocations: {s:?}"
+        );
     }
 
     #[test]
@@ -502,7 +516,10 @@ mod tests {
             }
         }
         let (g, o) = (grad.thread_stats(0), orig.thread_stats(0));
-        assert!(g.flushes > o.flushes, "incremental overflows more often: {g:?} vs {o:?}");
+        assert!(
+            g.flushes > o.flushes,
+            "incremental overflows more often: {g:?} vs {o:?}"
+        );
         let g_per = g.flushed_objects as f64 / g.flushes as f64;
         let o_per = o.flushed_objects as f64 / o.flushes as f64;
         assert!(

@@ -177,7 +177,9 @@ pub fn build_allocator_with(
     tcache_cap: Option<usize>,
 ) -> Arc<dyn PoolAllocator> {
     match (kind, tcache_cap) {
-        (AllocatorKind::Je, Some(cap)) => Arc::new(JeModel::with_tcache_cap(max_threads, cost, cap)),
+        (AllocatorKind::Je, Some(cap)) => {
+            Arc::new(JeModel::with_tcache_cap(max_threads, cost, cap))
+        }
         (AllocatorKind::Je, None) => Arc::new(JeModel::new(max_threads, cost)),
         (AllocatorKind::JeIncr, cap) => Arc::new(JeModel::with_flush_quantum(
             max_threads,
@@ -185,7 +187,9 @@ pub fn build_allocator_with(
             cap.unwrap_or(crate::tcache::DEFAULT_TCACHE_CAP),
             JE_INCR_QUANTUM,
         )),
-        (AllocatorKind::Tc, Some(cap)) => Arc::new(TcModel::with_tcache_cap(max_threads, cost, cap)),
+        (AllocatorKind::Tc, Some(cap)) => {
+            Arc::new(TcModel::with_tcache_cap(max_threads, cost, cap))
+        }
         (AllocatorKind::Tc, None) => Arc::new(TcModel::new(max_threads, cost)),
         (AllocatorKind::Mi, _) => Arc::new(MiModel::new(max_threads, cost)),
         (AllocatorKind::Sys, _) => Arc::new(SysModel::new(max_threads)),

@@ -111,7 +111,9 @@ pub struct MiModel {
 impl MiModel {
     /// Builds the model.
     pub fn new(max_threads: usize, cost: CostModel) -> Self {
-        let pages = (0..MAX_PAGES).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect::<Vec<_>>();
+        let pages = (0..MAX_PAGES)
+            .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+            .collect::<Vec<_>>();
         MiModel {
             store: ChunkStore::new(),
             pages: pages.into_boxed_slice(),
@@ -332,7 +334,9 @@ mod tests {
         let m = Arc::new(MiModel::new(2, CostModel::zero()));
         // tid 0 allocates every block in its first page.
         let per_page = PAGE_BYTES / (HEADER_SIZE + 64);
-        let ptrs: Vec<usize> = (0..per_page).map(|_| m.alloc(0, 64).as_ptr() as usize).collect();
+        let ptrs: Vec<usize> = (0..per_page)
+            .map(|_| m.alloc(0, 64).as_ptr() as usize)
+            .collect();
         // tid 1 frees them all remotely (lock-free CAS pushes).
         let m2 = Arc::clone(&m);
         std::thread::spawn(move || {
@@ -358,7 +362,9 @@ mod tests {
         let m = Arc::new(MiModel::new(5, CostModel::zero()));
         let per_page = PAGE_BYTES / (HEADER_SIZE + 64);
         let n = per_page.min(400);
-        let ptrs: Vec<usize> = (0..n * 4).map(|_| m.alloc(0, 64).as_ptr() as usize).collect();
+        let ptrs: Vec<usize> = (0..n * 4)
+            .map(|_| m.alloc(0, 64).as_ptr() as usize)
+            .collect();
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 let m = Arc::clone(&m);
@@ -375,8 +381,13 @@ mod tests {
         }
         // All n*4 blocks must be recoverable by the owner.
         let live: Vec<_> = (0..n * 4).map(|_| m.alloc(0, 64)).collect();
-        let unique: std::collections::HashSet<usize> = live.iter().map(|p| p.as_ptr() as usize).collect();
-        assert_eq!(unique.len(), n * 4, "lost or duplicated blocks in cross-thread list");
+        let unique: std::collections::HashSet<usize> =
+            live.iter().map(|p| p.as_ptr() as usize).collect();
+        assert_eq!(
+            unique.len(),
+            n * 4,
+            "lost or duplicated blocks in cross-thread list"
+        );
         for p in live {
             m.dealloc(0, p);
         }

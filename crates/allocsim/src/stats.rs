@@ -312,7 +312,9 @@ mod tests {
     #[test]
     fn sampling_fires_once_per_period() {
         let c = ThreadCounters::default();
-        let fired: u64 = (0..(SAMPLE_PERIOD * 4)).map(|_| u64::from(c.on_dealloc())).sum();
+        let fired: u64 = (0..(SAMPLE_PERIOD * 4))
+            .map(|_| u64::from(c.on_dealloc()))
+            .sum();
         assert_eq!(fired, 4);
         assert_eq!(c.deallocs.get(), SAMPLE_PERIOD * 4);
     }

@@ -130,7 +130,8 @@ mod tests {
     fn many_blocks_distinct() {
         let m = SysModel::new(1);
         let ptrs: Vec<_> = (0..100).map(|_| m.alloc(0, 48)).collect();
-        let set: std::collections::HashSet<usize> = ptrs.iter().map(|p| p.as_ptr() as usize).collect();
+        let set: std::collections::HashSet<usize> =
+            ptrs.iter().map(|p| p.as_ptr() as usize).collect();
         assert_eq!(set.len(), 100);
         for p in ptrs {
             m.dealloc(0, p);

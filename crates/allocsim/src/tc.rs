@@ -293,7 +293,11 @@ mod tests {
         })
         .join()
         .unwrap();
-        assert_eq!(m.peak_bytes(), peak_before, "recycling should avoid new chunks");
+        assert_eq!(
+            m.peak_bytes(),
+            peak_before,
+            "recycling should avoid new chunks"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub struct ThreadCache {
 impl ThreadCache {
     /// Creates an empty cache with per-bin capacity `cap`.
     pub fn new(cap: usize) -> Self {
-        assert!(cap >= FLUSH_DEN, "cache capacity too small to flush fractionally");
+        assert!(
+            cap >= FLUSH_DEN,
+            "cache capacity too small to flush fractionally"
+        );
         ThreadCache {
             bins: std::array::from_fn(|_| VecDeque::with_capacity(cap + 1)),
             cap,
@@ -138,7 +141,10 @@ mod tests {
     fn overflow_signals_at_cap() {
         let mut tc = ThreadCache::new(4);
         for i in 0..4 {
-            assert!(!tc.push(0, header(i)), "push {i} under cap must not overflow");
+            assert!(
+                !tc.push(0, header(i)),
+                "push {i} under cap must not overflow"
+            );
         }
         assert!(tc.push(0, header(99)), "push past cap must signal flush");
     }

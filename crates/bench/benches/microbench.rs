@@ -25,12 +25,16 @@ fn bench_allocator_roundtrip(c: &mut Criterion) {
         // Warm the caches.
         let p = alloc.alloc(0, 64);
         alloc.dealloc(0, p);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &alloc, |b, alloc| {
-            b.iter(|| {
-                let p = alloc.alloc(0, black_box(64));
-                alloc.dealloc(0, p);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &alloc,
+            |b, alloc| {
+                b.iter(|| {
+                    let p = alloc.alloc(0, black_box(64));
+                    alloc.dealloc(0, p);
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -112,12 +116,21 @@ fn bench_timeline_recording(c: &mut Criterion) {
     c.bench_function("timeline_record_event", |b| {
         b.iter(|| {
             let t = epic_util::now_ns();
-            rec.record(0, epic_timeline::EventKind::FreeCall, t, t + 10, black_box(7));
+            rec.record(
+                0,
+                epic_timeline::EventKind::FreeCall,
+                t,
+                t + 10,
+                black_box(7),
+            );
         })
     });
     let arc_tree: Arc<dyn epic_ds::ConcurrentMap> = {
         let alloc = build_allocator(AllocatorKind::Je, 1, CostModel::zero());
-        build_tree(TreeKind::Ab, build_smr(SmrKind::Debra, alloc, SmrConfig::new(1)))
+        build_tree(
+            TreeKind::Ab,
+            build_smr(SmrKind::Debra, alloc, SmrConfig::new(1)),
+        )
     };
     let _ = arc_tree; // keep facade linkage honest
 }

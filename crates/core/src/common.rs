@@ -115,7 +115,10 @@ impl SchemeCommon {
                 unsafe { self.pools.get_mut(tid).absorb(batch) };
             }
             FreeMode::Background => {
-                let bg = self.bg.as_ref().expect("Background mode spawns a reclaimer");
+                let bg = self
+                    .bg
+                    .as_ref()
+                    .expect("Background mode spawns a reclaimer");
                 let n = batch.len() as u64;
                 // Freed-count accounting happens here (sender side) so the
                 // garbage gauge stays single-writer per tid; the actual
@@ -144,7 +147,9 @@ impl SchemeCommon {
         let c = self.stats.get(tid);
         c.on_free(n);
         c.add_free_ns(t1 - t0);
-        self.cfg.recorder.record(tid, EventKind::BatchFree, t0, t1, n);
+        self.cfg
+            .recorder
+            .record(tid, EventKind::BatchFree, t0, t1, n);
     }
 
     /// The amortized drain. Schemes call this from `on_alloc` — freeing is
@@ -242,9 +247,13 @@ impl SchemeCommon {
             let t1 = now_ns();
             self.stats.record_free_latency(tid, t1 - t0);
             if t1 - t0 >= self.cfg.free_call_record_ns {
-                self.cfg
-                    .recorder
-                    .record(tid, EventKind::FreeCall, t0, t1, r.addr() as u64 & 0xFFFF_FFFF);
+                self.cfg.recorder.record(
+                    tid,
+                    EventKind::FreeCall,
+                    t0,
+                    t1,
+                    r.addr() as u64 & 0xFFFF_FFFF,
+                );
             }
         } else {
             self.alloc.dealloc(tid, r.ptr);
@@ -287,7 +296,9 @@ impl SchemeCommon {
     /// garbage-series sample, peak watermark.
     pub fn record_epoch_advance(&self, tid: Tid, new_epoch: u64) {
         self.stats.epochs.fetch_add(1, Ordering::Relaxed);
-        self.cfg.recorder.mark(tid, EventKind::EpochAdvance, new_epoch);
+        self.cfg
+            .recorder
+            .mark(tid, EventKind::EpochAdvance, new_epoch);
         let garbage = self.stats.observe_garbage();
         if let Some(series) = &self.cfg.garbage_series {
             series.push(new_epoch as f64, garbage as f64);
@@ -373,7 +384,11 @@ mod tests {
         c.dispose(0, &mut batch);
         assert_eq!(c.stats.snapshot().freed, 0, "nothing freed yet");
         assert_eq!(c.freebuf_len(0), 10);
-        assert_eq!(c.stats.snapshot().garbage, 10, "queued objects are still garbage");
+        assert_eq!(
+            c.stats.snapshot().garbage,
+            10,
+            "queued objects are still garbage"
+        );
 
         c.tick(0);
         assert_eq!(c.stats.snapshot().freed, 3);
@@ -416,8 +431,14 @@ mod tests {
     #[test]
     fn name_suffixes() {
         assert_eq!(common(FreeMode::Batch).scheme_name("debra"), "debra");
-        assert_eq!(common(FreeMode::amortized()).scheme_name("debra"), "debra_af");
-        assert_eq!(common(FreeMode::Background).scheme_name("debra"), "debra_bg");
+        assert_eq!(
+            common(FreeMode::amortized()).scheme_name("debra"),
+            "debra_af"
+        );
+        assert_eq!(
+            common(FreeMode::Background).scheme_name("debra"),
+            "debra_bg"
+        );
     }
 
     #[test]

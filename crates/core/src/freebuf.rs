@@ -115,7 +115,9 @@ impl PoolBins {
     pub fn take_excess(&mut self, n: usize) -> Vec<Retired> {
         let mut out = Vec::with_capacity(n.min(self.len));
         while out.len() < n {
-            let Some(bin) = self.bins.iter_mut().max_by_key(|b| b.len()) else { break };
+            let Some(bin) = self.bins.iter_mut().max_by_key(|b| b.len()) else {
+                break;
+            };
             match bin.pop() {
                 Some(r) => {
                     self.len -= 1;
@@ -214,7 +216,9 @@ mod tests {
             assert!(batch.is_empty());
             assert_eq!(pool.len(), 4);
             // 240 and 100 land in different classes (256 vs 128).
-            let hit = pool.pop_for(200).expect("the 240-byte block serves a 200-byte ask");
+            let hit = pool
+                .pop_for(200)
+                .expect("the 240-byte block serves a 200-byte ask");
             assert_eq!(hit.addr(), addrs[1]);
             assert!(pool.pop_for(200).is_none(), "class 256 is now empty");
             // LIFO within the 64-byte class.
@@ -222,7 +226,14 @@ mod tests {
             assert_eq!(pool.pop_for(64).unwrap().addr(), addrs[0]);
             assert_eq!(pool.len(), 1);
             free_all(&a, pool.drain_all());
-            free_all(&a, [hit, Retired::new(std::ptr::NonNull::new(addrs[2] as *mut u8).unwrap()), Retired::new(std::ptr::NonNull::new(addrs[0] as *mut u8).unwrap())]);
+            free_all(
+                &a,
+                [
+                    hit,
+                    Retired::new(std::ptr::NonNull::new(addrs[2] as *mut u8).unwrap()),
+                    Retired::new(std::ptr::NonNull::new(addrs[0] as *mut u8).unwrap()),
+                ],
+            );
         }
 
         #[test]

@@ -283,7 +283,11 @@ mod tests {
         smr.begin_op(1);
         smr.end_op(1);
         churn(&alloc, &smr, 0, 100);
-        assert!(smr.stats().epochs >= 20, "quiescent threads must not block: {:?}", smr.stats());
+        assert!(
+            smr.stats().epochs >= 20,
+            "quiescent threads must not block: {:?}",
+            smr.stats()
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl HeSmr {
         let k = cfg.hp_slots;
         HeSmr {
             era: AtomicU64::new(1),
-            slots: (0..n * k).map(|_| AtomicU64::new(NONE)).collect::<Vec<_>>().into_boxed_slice(),
+            slots: (0..n * k)
+                .map(|_| AtomicU64::new(NONE))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             k,
             threads: TidSlots::new_with(n, |_| HeThread {
                 bag: Vec::new(),
@@ -67,12 +70,17 @@ impl HeSmr {
     fn scan_and_reclaim(&self, tid: Tid, state: &mut HeThread) {
         self.common.stats.get(tid).on_scan();
         fence(Ordering::SeqCst);
-        let reservations: Vec<u64> =
-            self.slots.iter().map(|s| s.load(Ordering::Acquire)).filter(|&e| e != NONE).collect();
+        let reservations: Vec<u64> = self
+            .slots
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .filter(|&e| e != NONE)
+            .collect();
         let mut freeable = Vec::with_capacity(state.bag.len());
         state.bag.retain(|r| {
-            let reserved =
-                reservations.iter().any(|&e| e >= r.birth_era && e <= r.retire_era);
+            let reserved = reservations
+                .iter()
+                .any(|&e| e >= r.birth_era && e <= r.retire_era);
             if reserved {
                 true
             } else {
@@ -259,7 +267,11 @@ mod tests {
             smr.end_op(0);
         }
         let freed_mid = smr.stats().freed;
-        assert!(freed_mid > 0, "later-born objects must be reclaimable: {:?}", smr.stats());
+        assert!(
+            freed_mid > 0,
+            "later-born objects must be reclaimable: {:?}",
+            smr.stats()
+        );
         smr.end_op(1);
         smr.quiesce_and_drain();
     }

@@ -41,7 +41,10 @@ impl HpSmr {
         let n = cfg.max_threads;
         let k = cfg.hp_slots;
         HpSmr {
-            slots: (0..n * k).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>().into_boxed_slice(),
+            slots: (0..n * k)
+                .map(|_| AtomicUsize::new(0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             k,
             threads: TidSlots::new_with(n, |_| HpThread { bag: Vec::new() }),
             common: SchemeCommon::new(alloc, cfg),
@@ -55,8 +58,12 @@ impl HpSmr {
         // The fence pairs with the SeqCst protect stores: any protect that
         // precedes our scan in the SeqCst order is observed.
         fence(Ordering::SeqCst);
-        let hazards: HashSet<usize> =
-            self.slots.iter().map(|s| s.load(Ordering::Acquire)).filter(|&p| p != 0).collect();
+        let hazards: HashSet<usize> = self
+            .slots
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .filter(|&p| p != 0)
+            .collect();
         let mut freeable = Vec::with_capacity(state.bag.len());
         state.bag.retain(|r| {
             if hazards.contains(&r.addr()) {
@@ -112,7 +119,11 @@ impl Smr for HpSmr {
         // SAFETY: tid-exclusivity contract.
         let state = unsafe { self.threads.get_mut(tid) };
         state.bag.push(Retired::new(ptr));
-        let threshold = self.common.cfg.bag_cap.max(2 * self.k * self.common.n_threads());
+        let threshold = self
+            .common
+            .cfg
+            .bag_cap
+            .max(2 * self.k * self.common.n_threads());
         if state.bag.len() >= threshold {
             self.scan_and_reclaim(tid, state);
         }
@@ -226,7 +237,9 @@ mod tests {
     #[test]
     fn af_mode_defers_scan_output() {
         let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
-        let cfg = SmrConfig::new(1).with_bag_cap(4).with_mode(FreeMode::Amortized { per_op: 1 });
+        let cfg = SmrConfig::new(1)
+            .with_bag_cap(4)
+            .with_mode(FreeMode::Amortized { per_op: 1 });
         let smr = HpSmr::new(Arc::clone(&alloc), cfg);
         for _ in 0..32 {
             smr.begin_op(0);

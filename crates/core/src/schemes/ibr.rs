@@ -82,8 +82,9 @@ impl IbrSmr {
         let mut freeable = Vec::with_capacity(state.bag.len());
         state.bag.retain(|r| {
             // Overlap test: [lo,hi] ∩ [birth,retire] ≠ ∅.
-            let reserved =
-                intervals.iter().any(|&(lo, hi)| lo <= r.retire_era && r.birth_era <= hi);
+            let reserved = intervals
+                .iter()
+                .any(|&(lo, hi)| lo <= r.retire_era && r.birth_era <= hi);
             if reserved {
                 true
             } else {
@@ -227,7 +228,11 @@ mod tests {
             smr.retire(0, q);
         }
         smr.end_op(0);
-        assert!(smr.stats().garbage >= 1, "victim overlaps reservation: {:?}", smr.stats());
+        assert!(
+            smr.stats().garbage >= 1,
+            "victim overlaps reservation: {:?}",
+            smr.stats()
+        );
         // Later-born objects do get freed.
         assert!(smr.stats().freed > 0);
         smr.end_op(1);

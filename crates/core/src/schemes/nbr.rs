@@ -138,11 +138,10 @@ impl NbrSmr {
         // threads).
         let n = self.shared.len();
         let mut need_ack = vec![false; n];
-        for t in 0..n {
+        for (t, sh) in self.shared.iter().enumerate() {
             if t == tid {
                 continue;
             }
-            let sh = &self.shared[t];
             if self.plus
                 && sh.status.load(Ordering::SeqCst) != IDLE
                 && sh.op_start_ns.load(Ordering::SeqCst) > seal_ns
@@ -160,11 +159,10 @@ impl NbrSmr {
         // its write phase, or is idle; in the latter two cases its
         // *published reservations* are honored below.
         let deadline = now_ns() + HANDSHAKE_TIMEOUT_NS;
-        for t in 0..n {
+        for (t, sh) in self.shared.iter().enumerate() {
             if !need_ack[t] {
                 continue;
             }
-            let sh = &self.shared[t];
             let backoff = Backoff::new();
             loop {
                 if sh.ack.load(Ordering::SeqCst) >= seq {
@@ -262,7 +260,10 @@ impl Smr for NbrSmr {
         sh.ack.store(req, Ordering::SeqCst);
         state.restarts += 1;
         self.common.stats.get(tid).on_restart();
-        self.common.cfg.recorder.mark(tid, EventKind::Neutralize, state.restarts);
+        self.common
+            .cfg
+            .recorder
+            .mark(tid, EventKind::Neutralize, state.restarts);
         true
     }
 
@@ -338,7 +339,8 @@ impl Smr for NbrSmr {
     }
 
     fn name(&self) -> String {
-        self.common.scheme_name(if self.plus { "nbr+" } else { "nbr" })
+        self.common
+            .scheme_name(if self.plus { "nbr+" } else { "nbr" })
     }
 
     fn kind(&self) -> SmrKind {
@@ -395,7 +397,10 @@ mod tests {
         reclaimer.join().unwrap();
         assert!(restarted, "read-phase thread must be neutralized");
         assert!(smr.stats().restarts >= 1);
-        assert!(smr.stats().freed > 0, "reclaimer must not wait for the reader forever");
+        assert!(
+            smr.stats().freed > 0,
+            "reclaimer must not wait for the reader forever"
+        );
         smr.end_op(1);
         smr.quiesce_and_drain();
     }
@@ -462,7 +467,10 @@ mod tests {
         }
         smr.end_op(0);
         assert!(smr.stats().freed >= 4, "{:?}", smr.stats());
-        assert!(!smr.poll_restart(1), "nbr+ should not have signaled thread 1");
+        assert!(
+            !smr.poll_restart(1),
+            "nbr+ should not have signaled thread 1"
+        );
         assert_eq!(smr.stats().restarts, 0);
         smr.end_op(1);
         smr.quiesce_and_drain();

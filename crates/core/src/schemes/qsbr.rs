@@ -1,6 +1,6 @@
 //! Quiescent-state-based reclamation (`qsbr`).
 //!
-//! Hart et al.'s QSBR [20]: threads do **not** announce every operation;
+//! Hart et al.'s QSBR \[20\]: threads do **not** announce every operation;
 //! instead they pass through an explicit *quiescent state* once every `k`
 //! operations, announcing the global epoch. The fuzzy barrier advances the
 //! epoch when every thread has announced it. Cheaper per-op than RCU/EBR
@@ -226,7 +226,11 @@ mod tests {
             smr.end_op(0);
         }
         assert!(smr.stats().epochs - before <= 1);
-        assert!(smr.stats().garbage >= 49, "garbage piles up: {:?}", smr.stats());
+        assert!(
+            smr.stats().garbage >= 49,
+            "garbage piles up: {:?}",
+            smr.stats()
+        );
         smr.quiesce_and_drain();
         assert_eq!(smr.stats().garbage, 0);
     }

@@ -1,7 +1,7 @@
 //! Classic per-operation epoch-based reclamation (`rcu`).
 //!
 //! The scheme Hart et al. call "epoch based reclamation" and the paper's
-//! evaluation labels `rcu` [20]: each operation is a read-side critical
+//! evaluation labels `rcu` \[20\]: each operation is a read-side critical
 //! section announced in a shared array; a thread whose limbo bag crosses
 //! the threshold scans all announcements and advances the global epoch if
 //! every in-critical-section thread has announced the current one. Objects
@@ -237,8 +237,14 @@ mod tests {
             smr.end_op(0);
         }
         let advanced = smr.stats().epochs - before;
-        assert!(advanced <= 1, "stalled reader must block advance, got {advanced}");
-        assert!(smr.stats().garbage > 0, "garbage must pile up behind the stalled reader");
+        assert!(
+            advanced <= 1,
+            "stalled reader must block advance, got {advanced}"
+        );
+        assert!(
+            smr.stats().garbage > 0,
+            "garbage must pile up behind the stalled reader"
+        );
         smr.end_op(1);
         smr.quiesce_and_drain();
         assert_eq!(smr.stats().garbage, 0);

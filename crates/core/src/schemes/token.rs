@@ -127,7 +127,10 @@ impl TokenSmr {
     fn on_token(&self, tid: Tid, state: &mut TokenThread) {
         state.consumed += 1;
         state.epochs_entered += 1;
-        self.common.cfg.recorder.mark(tid, EventKind::TokenReceive, state.epochs_entered);
+        self.common
+            .cfg
+            .recorder
+            .mark(tid, EventKind::TokenReceive, state.epochs_entered);
         // Count a global "epoch" per full circulation, observed at thread 0
         // (also samples the garbage series — the paper's lower panels).
         if tid == 0 {
@@ -197,7 +200,10 @@ impl TokenSmr {
         let t1 = now_ns();
         counters.on_free(n);
         counters.add_free_ns(t1 - t0);
-        self.common.cfg.recorder.record(tid, EventKind::BatchFree, t0, t1, n);
+        self.common
+            .cfg
+            .recorder
+            .record(tid, EventKind::BatchFree, t0, t1, n);
     }
 }
 
@@ -383,7 +389,11 @@ mod tests {
 
     #[test]
     fn all_variants_reclaim_under_multithreaded_churn() {
-        for variant in [TokenVariant::Naive, TokenVariant::PassFirst, TokenVariant::Periodic] {
+        for variant in [
+            TokenVariant::Naive,
+            TokenVariant::PassFirst,
+            TokenVariant::Periodic,
+        ] {
             for mode in [FreeMode::Batch, FreeMode::amortized()] {
                 let (alloc, smr) = setup(4, variant, mode);
                 let handles: Vec<_> = (0..4)

@@ -76,11 +76,17 @@ impl WfeSmr {
     fn scan_and_reclaim(&self, tid: Tid, state: &mut WfeThread) {
         self.common.stats.get(tid).on_scan();
         fence(Ordering::SeqCst);
-        let reservations: Vec<u64> =
-            self.slots.iter().map(|s| s.load(Ordering::Acquire)).filter(|&e| e != NONE).collect();
+        let reservations: Vec<u64> = self
+            .slots
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .filter(|&e| e != NONE)
+            .collect();
         let mut freeable = Vec::with_capacity(state.bag.len());
         state.bag.retain(|r| {
-            let reserved = reservations.iter().any(|&e| e >= r.birth_era && e <= r.retire_era);
+            let reserved = reservations
+                .iter()
+                .any(|&e| e >= r.birth_era && e <= r.retire_era);
             if reserved {
                 true
             } else {
@@ -237,7 +243,11 @@ mod tests {
         }
         smr.end_op(0);
         assert!(smr.stats().garbage >= 1);
-        assert!(smr.stats().freed > 0, "unreserved lifetimes freed: {:?}", smr.stats());
+        assert!(
+            smr.stats().freed > 0,
+            "unreserved lifetimes freed: {:?}",
+            smr.stats()
+        );
         smr.end_op(1);
         smr.quiesce_and_drain();
         assert_eq!(smr.stats().garbage, 0);

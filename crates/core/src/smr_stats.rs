@@ -223,7 +223,10 @@ impl SmrStats {
 
     /// Sum of published garbage gauges (racy, for sampling).
     pub fn total_garbage(&self) -> u64 {
-        self.slots.iter().map(|s| s.garbage_pub.load(Ordering::Relaxed)).sum()
+        self.slots
+            .iter()
+            .map(|s| s.garbage_pub.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Records a garbage observation into the peak watermark, returning the
@@ -339,7 +342,10 @@ mod tests {
         s.get(0).on_pool_hit();
         let snap = s.snapshot();
         assert_eq!(snap.pool_hits, 1);
-        assert_eq!(snap.freed, 1, "a pool hit removes the object from the SMR system");
+        assert_eq!(
+            snap.freed, 1,
+            "a pool hit removes the object from the SMR system"
+        );
         assert_eq!(snap.garbage, 2);
     }
 
@@ -351,7 +357,10 @@ mod tests {
         }
         s.record_free_latency(1, 3_000_000);
         let snap = s.snapshot();
-        assert!(snap.free_p50_ns >= 200 && snap.free_p50_ns < 512, "{snap:?}");
+        assert!(
+            snap.free_p50_ns >= 200 && snap.free_p50_ns < 512,
+            "{snap:?}"
+        );
         assert_eq!(snap.free_max_ns, 3_000_000);
         assert!(snap.free_p99_ns >= snap.free_p50_ns);
         let hist = s.free_hist();

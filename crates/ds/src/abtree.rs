@@ -239,7 +239,10 @@ impl AbTree {
     fn leaf_copy_insert(&self, leaf: &Node, key: u64, value: u64) -> Node {
         let mut n = Node::blank(true);
         let len = leaf.len();
-        let pos = leaf.keys[..len].iter().position(|&k| k > key).unwrap_or(len);
+        let pos = leaf.keys[..len]
+            .iter()
+            .position(|&k| k > key)
+            .unwrap_or(len);
         for i in 0..pos {
             n.keys[i] = leaf.keys[i];
             n.slots[i] = AtomicUsize::new(leaf.slots[i].load(Ordering::Acquire));
@@ -278,7 +281,10 @@ impl AbTree {
         debug_assert_eq!(len, CAP);
         let mut keys = Vec::with_capacity(CAP + 1);
         let mut vals = Vec::with_capacity(CAP + 1);
-        let pos = leaf.keys[..len].iter().position(|&k| k > key).unwrap_or(len);
+        let pos = leaf.keys[..len]
+            .iter()
+            .position(|&k| k > key)
+            .unwrap_or(len);
         for i in 0..pos {
             keys.push(leaf.keys[i]);
             vals.push(leaf.slots[i].load(Ordering::Acquire));
@@ -383,7 +389,15 @@ impl AbTree {
 
     /// Lock + validate grandparent and parent. On success BOTH locks are
     /// held.
-    fn lock_two(&self, g: &Node, p_idx: usize, p_addr: usize, p: &Node, l_idx: usize, l: usize) -> bool {
+    fn lock_two(
+        &self,
+        g: &Node,
+        p_idx: usize,
+        p_addr: usize,
+        p: &Node,
+        l_idx: usize,
+        l: usize,
+    ) -> bool {
         g.lock.lock();
         p.lock.lock();
         let ok = !g.is_marked()
@@ -400,15 +414,18 @@ impl AbTree {
     fn retire2(&self, tid: Tid, a: usize, b: usize) {
         // SAFETY: both unlinked; SMR delays the frees.
         unsafe {
-            self.smr.retire(tid, std::ptr::NonNull::new_unchecked(a as *mut u8));
-            self.smr.retire(tid, std::ptr::NonNull::new_unchecked(b as *mut u8));
+            self.smr
+                .retire(tid, std::ptr::NonNull::new_unchecked(a as *mut u8));
+            self.smr
+                .retire(tid, std::ptr::NonNull::new_unchecked(b as *mut u8));
         }
     }
 
     fn retire1(&self, tid: Tid, a: usize) {
         // SAFETY: unlinked; SMR delays the free.
         unsafe {
-            self.smr.retire(tid, std::ptr::NonNull::new_unchecked(a as *mut u8));
+            self.smr
+                .retire(tid, std::ptr::NonNull::new_unchecked(a as *mut u8));
         }
     }
 
@@ -479,7 +496,9 @@ impl ConcurrentMap for AbTree {
         assert!(key <= MAX_KEY);
         self.smr.begin_op(tid);
         let result = loop {
-            let Ok(w) = self.search(tid, key) else { continue };
+            let Ok(w) = self.search(tid, key) else {
+                continue;
+            };
             // SAFETY: protected by traversal.
             let (p_node, l_node) = unsafe { (node(w.p), node(w.l)) };
             if l_node.find(key).is_some() {
@@ -547,7 +566,10 @@ impl ConcurrentMap for AbTree {
             // child slots are mutable, and copying them before the lock
             // would let a concurrent slot update vanish — resurrecting a
             // retired child (use-after-free).
-            let p_new = self.publish(tid, self.internal_copy_split(p_node, w.l_idx, l_addr, sep, r_addr));
+            let p_new = self.publish(
+                tid,
+                self.internal_copy_split(p_node, w.l_idx, l_addr, sep, r_addr),
+            );
             p_node.set_marked();
             l_node.set_marked();
             g_node.slots[w.p_idx].store(p_new, Ordering::Release);
@@ -564,10 +586,14 @@ impl ConcurrentMap for AbTree {
         assert!(key <= MAX_KEY);
         self.smr.begin_op(tid);
         let result = loop {
-            let Ok(w) = self.search(tid, key) else { continue };
+            let Ok(w) = self.search(tid, key) else {
+                continue;
+            };
             // SAFETY: protected by traversal.
             let (p_node, l_node) = unsafe { (node(w.p), node(w.l)) };
-            let Some(pos) = l_node.find(key) else { break false };
+            let Some(pos) = l_node.find(key) else {
+                break false;
+            };
 
             if l_node.len() > 1 || w.p == self.entry {
                 // Replace the leaf (possibly by an empty one when it is the
@@ -628,10 +654,14 @@ impl ConcurrentMap for AbTree {
         assert!(key <= MAX_KEY);
         self.smr.begin_op(tid);
         let result = loop {
-            let Ok(w) = self.search(tid, key) else { continue };
+            let Ok(w) = self.search(tid, key) else {
+                continue;
+            };
             // SAFETY: protected by traversal; leaves are immutable.
             let l_node = unsafe { node(w.l) };
-            break l_node.find(key).map(|pos| l_node.slots[pos].load(Ordering::Acquire) as u64);
+            break l_node
+                .find(key)
+                .map(|pos| l_node.slots[pos].load(Ordering::Acquire) as u64);
         };
         self.smr.end_op(tid);
         result
@@ -828,7 +858,8 @@ mod tests {
             for h in handles {
                 h.join().unwrap();
             }
-            t.check_invariants().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             let mut oracle = std::collections::BTreeSet::new();
             for tid in 0..4u64 {
                 for round in 0..300u64 {
@@ -861,6 +892,9 @@ mod tests {
             }
         }
         let snap = alloc.snapshot();
-        assert_eq!(snap.totals.allocs, snap.totals.deallocs, "node leak at drop");
+        assert_eq!(
+            snap.totals.allocs, snap.totals.deallocs,
+            "node leak at drop"
+        );
     }
 }

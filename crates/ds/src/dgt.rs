@@ -260,7 +260,10 @@ impl DgtTree {
     fn drop_rec(&self, addr: usize) {
         // SAFETY: exclusive access during drop.
         let n = unsafe { node(addr) };
-        let (l, r) = (n.left.load(Ordering::Relaxed), n.right.load(Ordering::Relaxed));
+        let (l, r) = (
+            n.left.load(Ordering::Relaxed),
+            n.right.load(Ordering::Relaxed),
+        );
         if l != 0 {
             self.drop_rec(l);
             self.drop_rec(r);
@@ -277,7 +280,9 @@ impl ConcurrentMap for DgtTree {
         assert!(key <= MAX_KEY, "key space reserved for sentinels");
         self.smr.begin_op(tid);
         let result = loop {
-            let Ok(w) = self.search(tid, key) else { continue };
+            let Ok(w) = self.search(tid, key) else {
+                continue;
+            };
             // SAFETY: protected by the traversal discipline.
             let (p_node, l_node) = unsafe { (node(w.p), node(w.l)) };
             if l_node.key == key {
@@ -314,7 +319,9 @@ impl ConcurrentMap for DgtTree {
                     },
                 ) as usize
             };
-            p_node.child(w.l_left).store(new_internal, Ordering::Release);
+            p_node
+                .child(w.l_left)
+                .store(new_internal, Ordering::Release);
             p_node.lock.unlock();
             break true;
         };
@@ -326,7 +333,9 @@ impl ConcurrentMap for DgtTree {
         assert!(key <= MAX_KEY);
         self.smr.begin_op(tid);
         let result = loop {
-            let Ok(w) = self.search(tid, key) else { continue };
+            let Ok(w) = self.search(tid, key) else {
+                continue;
+            };
             // SAFETY: protected by the traversal discipline.
             let (g_node, p_node, l_node) = unsafe { (node(w.g), node(w.p), node(w.l)) };
             if l_node.key != key {
@@ -355,8 +364,10 @@ impl ConcurrentMap for DgtTree {
             // SAFETY: both nodes are unlinked and unreachable from the
             // root; the SMR scheme delays the actual free.
             unsafe {
-                self.smr.retire(tid, std::ptr::NonNull::new_unchecked(w.p as *mut u8));
-                self.smr.retire(tid, std::ptr::NonNull::new_unchecked(w.l as *mut u8));
+                self.smr
+                    .retire(tid, std::ptr::NonNull::new_unchecked(w.p as *mut u8));
+                self.smr
+                    .retire(tid, std::ptr::NonNull::new_unchecked(w.l as *mut u8));
             }
             break true;
         };
@@ -368,7 +379,9 @@ impl ConcurrentMap for DgtTree {
         assert!(key <= MAX_KEY);
         self.smr.begin_op(tid);
         let result = loop {
-            let Ok(w) = self.search(tid, key) else { continue };
+            let Ok(w) = self.search(tid, key) else {
+                continue;
+            };
             // SAFETY: protected by the traversal discipline.
             let l_node = unsafe { node(w.l) };
             if l_node.key == key {
@@ -534,7 +547,8 @@ mod tests {
             for h in handles {
                 h.join().unwrap();
             }
-            t.check_invariants().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             // Survivor check: round 599 was odd (deletes of round-2 keys);
             // replay sequentially.
             let mut oracle = std::collections::BTreeSet::new();
@@ -584,6 +598,9 @@ mod tests {
         // Tree dropped: every allocated block must be back (Sys model
         // tracks live bytes; allocs == deallocs means no leak).
         let snap = alloc.snapshot();
-        assert_eq!(snap.totals.allocs, snap.totals.deallocs, "node leak at drop");
+        assert_eq!(
+            snap.totals.allocs, snap.totals.deallocs,
+            "node leak at drop"
+        );
     }
 }

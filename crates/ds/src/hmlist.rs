@@ -1,7 +1,7 @@
 //! A Harris–Michael lock-free sorted linked list (`HmList`).
 //!
 //! Not one of the paper's three benchmark structures, but the canonical
-//! SMR client (the paper cites Harris's non-blocking linked list [19] as
+//! SMR client (the paper cites Harris's non-blocking linked list \[19\] as
 //! the origin of batched reclamation): every delete retires exactly one
 //! node, every insert allocates exactly one, and traversals hold no locks
 //! — so it exercises the full `epic-smr` protocol (protect/validate for
@@ -18,7 +18,7 @@
 //! swing the predecessor's link past it (the physical unlink). Traversals
 //! that encounter a marked node help unlink it; whichever thread's unlink
 //! CAS succeeds retires the node (exactly once — see the safety argument
-//! on [`HmList::find`]).
+//! on the private `HmList::find` helper).
 
 use crate::{alloc_node, dealloc_node, ConcurrentMap, MAX_KEY};
 use epic_alloc::{PoolAllocator, Tid};
@@ -175,7 +175,8 @@ impl HmList {
                 // and (per the mark argument in the doc comment) no other
                 // thread's unlink of `curr` can also succeed.
                 unsafe {
-                    self.smr.retire(tid, std::ptr::NonNull::new_unchecked(curr as *mut u8));
+                    self.smr
+                        .retire(tid, std::ptr::NonNull::new_unchecked(curr as *mut u8));
                 }
                 // `succ` inherits curr's protection obligations: re-protect
                 // it in curr's slot and re-validate against pred.
@@ -296,7 +297,8 @@ impl ConcurrentMap for HmList {
             {
                 // SAFETY: unlinked by the CAS above, exactly once.
                 unsafe {
-                    self.smr.retire(tid, std::ptr::NonNull::new_unchecked(w.curr as *mut u8));
+                    self.smr
+                        .retire(tid, std::ptr::NonNull::new_unchecked(w.curr as *mut u8));
                 }
             }
             break true;
@@ -513,7 +515,8 @@ mod tests {
             for h in handles {
                 h.join().unwrap();
             }
-            l.check_invariants().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            l.check_invariants()
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             // Sequential replay oracle (per-thread keys are disjoint).
             let mut oracle = std::collections::BTreeSet::new();
             for tid in 0..4u64 {
@@ -560,7 +563,10 @@ mod tests {
             }
         }
         let snap = alloc.snapshot();
-        assert_eq!(snap.totals.allocs, snap.totals.deallocs, "node leak at drop");
+        assert_eq!(
+            snap.totals.allocs, snap.totals.deallocs,
+            "node leak at drop"
+        );
     }
 
     #[test]
@@ -582,7 +588,10 @@ mod tests {
             l.remove(0, round % 8 + 1);
         }
         let s = l.smr().stats();
-        assert!(s.pool_hits > 500, "pool must serve steady-state churn: {s:?}");
+        assert!(
+            s.pool_hits > 500,
+            "pool must serve steady-state churn: {s:?}"
+        );
         let a = alloc.snapshot().totals;
         assert!(
             a.allocs < 2_000 / 2,

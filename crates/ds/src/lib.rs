@@ -19,7 +19,7 @@
 //! testing:
 //!
 //! * [`HmList`] — the canonical Harris–Michael lock-free sorted linked
-//!   list (the paper cites Harris [19] as the origin of batched
+//!   list (the paper cites Harris \[19\] as the origin of batched
 //!   reclamation): 1 small node per insert, 1 retire per delete.
 //!
 //! ## SMR discipline

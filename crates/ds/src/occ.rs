@@ -221,7 +221,10 @@ impl OccTree {
         parent.version.write_unlock();
         // SAFETY: target is unlinked; SMR delays the free.
         unsafe {
-            self.smr.retire(tid, std::ptr::NonNull::new_unchecked(target_addr as *mut u8));
+            self.smr.retire(
+                tid,
+                std::ptr::NonNull::new_unchecked(target_addr as *mut u8),
+            );
         }
         true
     }
@@ -252,7 +255,12 @@ impl OccTree {
             report.push(format!("node {} violates BST range [{lo},{hi})", n.key));
         }
         self.check_rec(n.left.load(Ordering::Acquire), lo, n.key.min(hi), report);
-        self.check_rec(n.right.load(Ordering::Acquire), n.key.saturating_add(1).max(lo), hi, report);
+        self.check_rec(
+            n.right.load(Ordering::Acquire),
+            n.key.saturating_add(1).max(lo),
+            hi,
+            report,
+        );
     }
 
     fn drop_rec(&self, addr: usize) {
@@ -273,7 +281,9 @@ impl ConcurrentMap for OccTree {
         assert!(key <= MAX_KEY && value < TOMB);
         self.smr.begin_op(tid);
         let result = loop {
-            let Ok(f) = self.search(tid, key) else { continue };
+            let Ok(f) = self.search(tid, key) else {
+                continue;
+            };
             if f.target != 0 {
                 // Key node exists: revive if tombstoned (no allocation —
                 // the Bronson signature move).
@@ -332,7 +342,9 @@ impl ConcurrentMap for OccTree {
         assert!(key <= MAX_KEY);
         self.smr.begin_op(tid);
         let result = loop {
-            let Ok(f) = self.search(tid, key) else { continue };
+            let Ok(f) = self.search(tid, key) else {
+                continue;
+            };
             if f.target == 0 {
                 break false;
             }
@@ -391,7 +403,9 @@ impl ConcurrentMap for OccTree {
         assert!(key <= MAX_KEY);
         self.smr.begin_op(tid);
         let result = loop {
-            let Ok(f) = self.search(tid, key) else { continue };
+            let Ok(f) = self.search(tid, key) else {
+                continue;
+            };
             if f.target == 0 {
                 break None;
             }
@@ -502,7 +516,11 @@ mod tests {
         t.remove(0, 10); // tombstone
         let allocs_before = t.alloc.snapshot().totals.allocs;
         assert!(t.insert(0, 10, 42), "revival counts as insert");
-        assert_eq!(t.alloc.snapshot().totals.allocs, allocs_before, "no allocation on revival");
+        assert_eq!(
+            t.alloc.snapshot().totals.allocs,
+            allocs_before,
+            "no allocation on revival"
+        );
         assert_eq!(t.get(0, 10), Some(42));
     }
 
@@ -559,7 +577,8 @@ mod tests {
             for h in handles {
                 h.join().unwrap();
             }
-            t.check_invariants().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            t.check_invariants()
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
             let mut oracle = std::collections::BTreeSet::new();
             for tid in 0..4u64 {
                 for round in 0..300u64 {
@@ -592,6 +611,9 @@ mod tests {
             }
         }
         let snap = alloc.snapshot();
-        assert_eq!(snap.totals.allocs, snap.totals.deallocs, "node leak at drop");
+        assert_eq!(
+            snap.totals.allocs, snap.totals.deallocs,
+            "node leak at drop"
+        );
     }
 }

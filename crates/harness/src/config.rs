@@ -48,7 +48,7 @@ pub struct WorkloadCfg {
     pub update_ratio: f64,
     /// Fault injection: thread 0 periodically stalls *inside* an
     /// operation for `(stall_every_ms, stall_for_ms)` — the delayed-thread
-    /// scenario EBR is famously sensitive to (§3.1's citation of [35,37]).
+    /// scenario EBR is famously sensitive to (§3.1's citation of \[35,37\]).
     pub stall: Option<(u64, u64)>,
 }
 

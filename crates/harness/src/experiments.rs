@@ -34,7 +34,10 @@ fn save_timeline(result: &crate::TrialResult, id: &str, label: &str, min_duratio
         ..Default::default()
     };
     let dir = results_dir();
-    let _ = std::fs::write(dir.join(format!("{id}_{label}.svg")), render_svg(rec, &opts));
+    let _ = std::fs::write(
+        dir.join(format!("{id}_{label}.svg")),
+        render_svg(rec, &opts),
+    );
     let _ = rec.write_csv(&dir.join(format!("{id}_{label}.csv")));
     // Terminal preview: a compact ASCII cut.
     let ascii = render_ascii(
@@ -50,7 +53,9 @@ fn save_timeline(result: &crate::TrialResult, id: &str, label: &str, min_duratio
 }
 
 fn save_garbage_series(result: &crate::TrialResult, id: &str, label: &str) {
-    let Some(series) = &result.garbage else { return };
+    let Some(series) = &result.garbage else {
+        return;
+    };
     let _ = series.write_csv(&results_dir().join(format!("{id}_{label}_garbage.csv")));
     println!(
         "garbage/epoch {id}/{label}: {} epochs, mean {:.0}, max {:.0}, peaks {}  {}",
@@ -174,7 +179,9 @@ pub fn fig3_timeline_af() {
         );
         save_timeline(&r, "fig3", label, 10_000);
     }
-    println!("paper shape: batch free shows many more high-latency free calls than amortized free.\n");
+    println!(
+        "paper shape: batch free shows many more high-latency free calls than amortized free.\n"
+    );
 }
 
 /// Table 2: amortized vs batch free — ops/s, objects freed, %free, %flush,
@@ -299,25 +306,45 @@ fn token_figure(id: &str, kind: SmrKind, mode: FreeMode, with_perf_table: bool) 
 /// Fig. 5 + Fig. 6: Naive Token-EBR — perf/memory sweep, timeline, garbage
 /// pile-up.
 pub fn fig5_6_naive_token() {
-    token_figure("fig5_6_naive_token", SmrKind::TokenNaive, FreeMode::Batch, true);
+    token_figure(
+        "fig5_6_naive_token",
+        SmrKind::TokenNaive,
+        FreeMode::Batch,
+        true,
+    );
     println!("paper shape: high apparent throughput but terrible reclamation (garbage pile-up; serialized frees).\n");
 }
 
 /// Fig. 7: Pass-first Token-EBR.
 pub fn fig7_passfirst() {
-    token_figure("fig7_passfirst", SmrKind::TokenPassFirst, FreeMode::Batch, false);
+    token_figure(
+        "fig7_passfirst",
+        SmrKind::TokenPassFirst,
+        FreeMode::Batch,
+        false,
+    );
     println!("paper shape: concurrent freeing now, but batch lengths still grow over time.\n");
 }
 
 /// Fig. 8: Periodic Token-EBR.
 pub fn fig8_periodic() {
-    token_figure("fig8_periodic", SmrKind::TokenPeriodic, FreeMode::Batch, false);
+    token_figure(
+        "fig8_periodic",
+        SmrKind::TokenPeriodic,
+        FreeMode::Batch,
+        false,
+    );
     println!("paper shape: lower peak memory than pass-first, but long free calls still stall the token.\n");
 }
 
 /// Fig. 9 + Fig. 10: Amortized-free Token-EBR.
 pub fn fig9_10_token_af() {
-    token_figure("fig9_10_token_af", SmrKind::TokenPeriodic, FreeMode::amortized(), true);
+    token_figure(
+        "fig9_10_token_af",
+        SmrKind::TokenPeriodic,
+        FreeMode::amortized(),
+        true,
+    );
     println!("paper shape: garbage pile-up gone, epoch count way up, best perf + memory of the variants.\n");
 }
 
@@ -394,7 +421,11 @@ fn orig_vs_af_table(id: &str, title: &str, tree: TreeKind, sweep: bool) {
     } else {
         vec![scale.max_threads]
     };
-    let mut t = Table::new(id, title, &["scheme", "threads", "ORIG Mops/s", "AF Mops/s", "AF/ORIG"]);
+    let mut t = Table::new(
+        id,
+        title,
+        &["scheme", "threads", "ORIG Mops/s", "AF Mops/s", "AF/ORIG"],
+    );
     for kind in SmrKind::EXPERIMENT2 {
         for &n in &threads {
             let orig = run_trials(&WorkloadCfg::new(tree, kind, n), scale.trials);
@@ -467,7 +498,11 @@ pub fn fig15_16_machine_presets() {
         "Fig.15/16/App.E: machine presets (ABtree, max threads)",
         &["machine", "scheme", "Mops/s", "% lock"],
     );
-    for preset in [MachinePreset::Intel4x192, MachinePreset::Intel4x144, MachinePreset::Amd2x256] {
+    for preset in [
+        MachinePreset::Intel4x192,
+        MachinePreset::Intel4x144,
+        MachinePreset::Amd2x256,
+    ] {
         for (kind, mode) in [
             (SmrKind::TokenPeriodic, FreeMode::amortized()),
             (SmrKind::Debra, FreeMode::amortized()),
@@ -675,7 +710,6 @@ pub fn ablation_bag_cap() {
     println!("expectation: bigger batches hurt ORIG more, widening the AF advantage.\n");
 }
 
-
 /// Ablation: background-thread freeing (Mitake et al., rebutted in §6) —
 /// moving batch frees to a dedicated reclaimer thread does not remove the
 /// RBF problem, it relocates it.
@@ -685,7 +719,14 @@ pub fn ablation_background_free() {
     let mut t = Table::new(
         "ablation_background_free",
         "Ablation: batch vs background-thread vs amortized freeing (ABtree, DEBRA, Je)",
-        &["approach", "Mops/s", "freed", "flushes", "remote frees", "backlog at end"],
+        &[
+            "approach",
+            "Mops/s",
+            "freed",
+            "flushes",
+            "remote frees",
+            "backlog at end",
+        ],
     );
     for mode in [FreeMode::Batch, FreeMode::Background, FreeMode::amortized()] {
         let cfg = WorkloadCfg::new(TreeKind::Ab, SmrKind::Debra, n).with_mode(mode);
@@ -716,7 +757,13 @@ pub fn ablation_stalled_thread() {
     let mut t = Table::new(
         "ablation_stalled_thread",
         "Ablation: delayed thread (20ms stall every 60ms) vs clean run (ABtree, Je)",
-        &["scheme", "clean Mops/s", "stalled Mops/s", "clean peak garbage", "stalled peak garbage"],
+        &[
+            "scheme",
+            "clean Mops/s",
+            "stalled Mops/s",
+            "clean peak garbage",
+            "stalled peak garbage",
+        ],
     );
     for (kind, mode) in [
         (SmrKind::Debra, FreeMode::Batch),
@@ -760,7 +807,14 @@ pub fn ablation_pooled() {
     let mut t = Table::new(
         "ablation_pooled",
         "Ablation: batch vs amortized vs pooled freeing (ABtree, DEBRA, Je, max threads)",
-        &["approach", "Mops/s", "freed", "pool hits", "allocator allocs", "flushes"],
+        &[
+            "approach",
+            "Mops/s",
+            "freed",
+            "pool hits",
+            "allocator allocs",
+            "flushes",
+        ],
     );
     for mode in [FreeMode::Batch, FreeMode::amortized(), FreeMode::Pooled] {
         let cfg = WorkloadCfg::new(TreeKind::Ab, SmrKind::Debra, n).with_mode(mode);
@@ -793,7 +847,14 @@ pub fn ablation_allocator_fix() {
     let mut t = Table::new(
         "ablation_allocator_fix",
         "Ablation: incremental-flush jemalloc (ABtree, DEBRA, max threads)",
-        &["config", "Mops/s", "% free", "% lock", "flushes", "objs/flush"],
+        &[
+            "config",
+            "Mops/s",
+            "% free",
+            "% lock",
+            "flushes",
+            "objs/flush",
+        ],
     );
     for (label, alloc, amortize) in [
         ("je batch", AllocatorKind::Je, false),
@@ -805,7 +866,8 @@ pub fn ablation_allocator_fix() {
             cfg = cfg.amortized();
         }
         let r = run_trial(&cfg);
-        let per_flush = r.alloc.totals.flushed_objects as f64 / r.alloc.totals.flushes.max(1) as f64;
+        let per_flush =
+            r.alloc.totals.flushed_objects as f64 / r.alloc.totals.flushes.max(1) as f64;
         t.row(vec![
             label.into(),
             fmt_mops(r.throughput),
@@ -832,7 +894,13 @@ pub fn ablation_ds_generality() {
     let mut t = Table::new(
         "ablation_ds_generality",
         "Ablation: ORIG vs AF per data structure (DEBRA, Je, max threads)",
-        &["structure", "ORIG Mops/s", "AF Mops/s", "AF/ORIG", "ORIG % free"],
+        &[
+            "structure",
+            "ORIG Mops/s",
+            "AF Mops/s",
+            "AF/ORIG",
+            "ORIG % free",
+        ],
     );
     for tree in TreeKind::ALL {
         let mut orig_cfg = WorkloadCfg::new(tree, SmrKind::Debra, n);
@@ -866,7 +934,13 @@ pub fn ablation_update_ratio() {
     let mut t = Table::new(
         "ablation_update_ratio",
         "Ablation: update fraction of the workload (ABtree, DEBRA, Je, max threads)",
-        &["updates %", "ORIG Mops/s", "AF Mops/s", "AF/ORIG", "ORIG % free"],
+        &[
+            "updates %",
+            "ORIG Mops/s",
+            "AF Mops/s",
+            "AF/ORIG",
+            "ORIG % free",
+        ],
     );
     for pct in [100u32, 50, 10] {
         let ratio = pct as f64 / 100.0;

@@ -39,7 +39,12 @@ impl Table {
 
     /// Appends one row (must match the header count).
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(cells);
     }
 

@@ -68,7 +68,9 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
     } else {
         Arc::new(Recorder::disabled(n))
     };
-    let garbage = cfg.garbage_series.then(|| Arc::new(Series::new("garbage-per-epoch")));
+    let garbage = cfg
+        .garbage_series
+        .then(|| Arc::new(Series::new("garbage-per-epoch")));
 
     let mut smr_cfg = SmrConfig::new(n)
         .with_mode(cfg.free_mode)
@@ -125,8 +127,7 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
                                 smr.begin_op(tid);
                                 std::thread::sleep(Duration::from_millis(for_ms));
                                 smr.end_op(tid);
-                                next_stall_ns =
-                                    Some(epic_util::now_ns() + every_ms * 1_000_000);
+                                next_stall_ns = Some(epic_util::now_ns() + every_ms * 1_000_000);
                             }
                         }
                     }
@@ -269,11 +270,16 @@ mod tests {
 
     #[test]
     fn timeline_and_garbage_capture() {
-        let cfg = quick(TreeKind::Ab, SmrKind::Debra).with_timeline().with_garbage_series();
+        let cfg = quick(TreeKind::Ab, SmrKind::Debra)
+            .with_timeline()
+            .with_garbage_series();
         let r = run_trial(&cfg);
         let rec = r.recorder.as_ref().expect("recorder requested");
         let events = rec.all_events();
-        assert!(!events.is_empty(), "timeline should capture batch frees / epochs");
+        assert!(
+            !events.is_empty(),
+            "timeline should capture batch frees / epochs"
+        );
         let g = r.garbage.as_ref().expect("series requested");
         assert!(!g.is_empty(), "garbage series should have epoch samples");
     }

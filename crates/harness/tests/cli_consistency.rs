@@ -1,0 +1,53 @@
+//! Smoke tests keeping the experiment registry and the `epic-run` CLI in
+//! lock-step: every id is unique, `run_by_name` resolves exactly the
+//! registered ids, and the installed binary's `list` output matches the
+//! registry line for line.
+
+use epic_harness::experiments::all_experiments;
+use std::collections::HashSet;
+use std::process::Command;
+
+#[test]
+fn experiment_ids_are_unique_and_nonempty() {
+    let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
+    assert!(!ids.is_empty(), "registry must not be empty");
+    let set: HashSet<&str> = ids.iter().copied().collect();
+    assert_eq!(set.len(), ids.len(), "duplicate experiment id in registry");
+    for id in &ids {
+        assert!(
+            id.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "id {id:?} is not a lower_snake_case token"
+        );
+    }
+}
+
+#[test]
+fn epic_run_list_matches_registry() {
+    let out = Command::new(env!("CARGO_BIN_EXE_epic-run"))
+        .arg("list")
+        .output()
+        .expect("spawn epic-run");
+    assert!(out.status.success(), "epic-run list failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let listed: Vec<&str> = stdout
+        .lines()
+        .skip(1) // "experiments (pass an id, or 'all'):" header
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    let registry: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
+    assert_eq!(
+        listed, registry,
+        "CLI list output diverged from all_experiments()"
+    );
+}
+
+#[test]
+fn epic_run_rejects_unknown_experiment() {
+    let out = Command::new(env!("CARGO_BIN_EXE_epic-run"))
+        .arg("no_such_experiment")
+        .output()
+        .expect("spawn epic-run");
+    assert!(!out.status.success(), "unknown id must exit nonzero");
+}

@@ -54,7 +54,10 @@ impl EventKind {
 
     /// True for zero-duration marker events rendered as dots.
     pub fn is_instant(self) -> bool {
-        matches!(self, EventKind::EpochAdvance | EventKind::TokenReceive | EventKind::Neutralize)
+        matches!(
+            self,
+            EventKind::EpochAdvance | EventKind::TokenReceive | EventKind::Neutralize
+        )
     }
 }
 

@@ -214,7 +214,10 @@ mod tests {
         r.record(0, EventKind::BatchFree, 5, 9, 3);
         let csv = r.to_csv();
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "tid,kind,start_ns,end_ns,duration_ns,value");
+        assert_eq!(
+            lines.next().unwrap(),
+            "tid,kind,start_ns,end_ns,duration_ns,value"
+        );
         assert_eq!(lines.next().unwrap(), "0,batch_free,5,9,4,3");
     }
 

@@ -166,8 +166,9 @@ pub fn render_ascii(rec: &Recorder, opts: &RenderOptions) -> String {
     let span = (p.t1 - p.t0) as f64;
     let cols = opts.width.clamp(10, 400);
     let col_of = |ns: u64| {
-        (((ns.saturating_sub(p.t0)) as f64 / span) * cols as f64).floor().min(cols as f64 - 1.0)
-            as usize
+        (((ns.saturating_sub(p.t0)) as f64 / span) * cols as f64)
+            .floor()
+            .min(cols as f64 - 1.0) as usize
     };
 
     let mut out = String::new();
@@ -205,7 +206,9 @@ pub fn render_ascii(rec: &Recorder, opts: &RenderOptions) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Filters a recorder's events to those of one kind with duration ≥
@@ -235,13 +238,19 @@ mod tests {
     #[test]
     fn svg_contains_rows_boxes_and_dots() {
         let r = sample_recorder();
-        let svg = render_svg(&r, &RenderOptions {
-            title: "test".into(),
-            ..Default::default()
-        });
+        let svg = render_svg(
+            &r,
+            &RenderOptions {
+                title: "test".into(),
+                ..Default::default()
+            },
+        );
         assert!(svg.starts_with("<svg"));
         assert!(svg.contains("</svg>"));
-        assert!(svg.matches("<rect").count() >= 4, "expect boxes plus background");
+        assert!(
+            svg.matches("<rect").count() >= 4,
+            "expect boxes plus background"
+        );
         // 2 dots x (row + projection) = 4 circles.
         assert_eq!(svg.matches("<circle").count(), 4);
         assert!(svg.contains(">T0<") && svg.contains(">T2<"));
@@ -251,10 +260,13 @@ mod tests {
     #[test]
     fn ascii_marks_busy_and_epochs() {
         let r = sample_recorder();
-        let art = render_ascii(&r, &RenderOptions {
-            width: 40,
-            ..Default::default()
-        });
+        let art = render_ascii(
+            &r,
+            &RenderOptions {
+                width: 40,
+                ..Default::default()
+            },
+        );
         assert!(art.contains('#'), "busy cells");
         assert!(art.contains('^'), "projection strip");
         assert!(art.lines().count() >= 5, "3 rows + strip + footer");
@@ -287,7 +299,10 @@ mod tests {
         };
         let art = render_ascii(&r, &opts);
         let t2_line = art.lines().find(|l| l.starts_with("T  2")).unwrap();
-        assert!(!t2_line.contains('#'), "100ns free call must be filtered: {t2_line}");
+        assert!(
+            !t2_line.contains('#'),
+            "100ns free call must be filtered: {t2_line}"
+        );
     }
 
     #[test]

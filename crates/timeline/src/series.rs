@@ -69,7 +69,9 @@ impl Series {
     /// "substantially reduces the number of peaks".
     pub fn peak_count(&self) -> usize {
         let pts = self.sorted_points();
-        pts.windows(3).filter(|w| w[1].1 > w[0].1 && w[1].1 > w[2].1).count()
+        pts.windows(3)
+            .filter(|w| w[1].1 > w[0].1 && w[1].1 > w[2].1)
+            .count()
     }
 
     /// CSV with header `x,y`.
@@ -166,7 +168,10 @@ mod tests {
         assert_eq!(line.chars().count(), 10);
         let first = line.chars().next().unwrap();
         let last = line.chars().last().unwrap();
-        assert!(first < last, "monotone series should produce rising sparkline");
+        assert!(
+            first < last,
+            "monotone series should produce rising sparkline"
+        );
     }
 
     #[test]

@@ -61,7 +61,12 @@ impl TicketLock {
     pub fn try_lock(&self) -> bool {
         let serving = self.now_serving.load(Ordering::Relaxed);
         self.next_ticket
-            .compare_exchange(serving, serving.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .compare_exchange(
+                serving,
+                serving.wrapping_add(1),
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
             .is_ok()
     }
 
@@ -174,7 +179,12 @@ impl SeqLock {
         expected.0 & 1 == 0
             && self
                 .version
-                .compare_exchange(expected.0, expected.0 + 1, Ordering::Acquire, Ordering::Relaxed)
+                .compare_exchange(
+                    expected.0,
+                    expected.0 + 1,
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
                 .is_ok()
     }
 
@@ -272,9 +282,15 @@ mod tests {
         let w = sl.write_lock();
         assert_eq!(w.raw(), 0);
         assert!(sl.is_write_locked());
-        assert!(!sl.read_validate(snap), "stale snapshot must not validate during write");
+        assert!(
+            !sl.read_validate(snap),
+            "stale snapshot must not validate during write"
+        );
         sl.write_unlock();
-        assert!(!sl.read_validate(snap), "stale snapshot must not validate after write");
+        assert!(
+            !sl.read_validate(snap),
+            "stale snapshot must not validate after write"
+        );
 
         let snap2 = sl.read_begin();
         assert_eq!(snap2.raw(), 2);

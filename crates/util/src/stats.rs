@@ -383,7 +383,10 @@ mod tests {
         let mut prev = 0;
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
             let v = h.quantile(q);
-            assert!(v >= prev, "quantile must be monotone: q={q} gave {v} < {prev}");
+            assert!(
+                v >= prev,
+                "quantile must be monotone: q={q} gave {v} < {prev}"
+            );
             assert!(v <= h.max());
             prev = v;
         }

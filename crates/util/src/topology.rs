@@ -24,7 +24,9 @@ impl Default for Topology {
 impl Topology {
     /// Detects the current machine.
     pub fn detect() -> Self {
-        let logical_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let logical_cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Topology { logical_cpus }
     }
 
@@ -83,12 +85,18 @@ fn env_usize_list(key: &str) -> Option<Vec<usize>> {
 
 /// Reads a `usize` experiment parameter from the environment with a default.
 pub fn env_usize(key: &str, default: usize) -> usize {
-    env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+    env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
 }
 
 /// Reads a `u64` experiment parameter from the environment with a default.
 pub fn env_u64(key: &str, default: u64) -> u64 {
-    env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+    env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
 }
 
 #[cfg(test)]

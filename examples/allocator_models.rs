@@ -19,8 +19,9 @@ fn main() {
     for kind in AllocatorKind::ALL {
         let alloc = build_allocator(kind, FREERS + 1, CostModel::default_for_machine());
         // Owner allocates everything.
-        let ptrs: Vec<usize> =
-            (0..BLOCKS).map(|_| alloc.alloc(0, 64).as_ptr() as usize).collect();
+        let ptrs: Vec<usize> = (0..BLOCKS)
+            .map(|_| alloc.alloc(0, 64).as_ptr() as usize)
+            .collect();
 
         // Remote threads batch-free it all (the EBR-batch pattern).
         let clock = Clock::start();

@@ -24,13 +24,16 @@ use std::sync::{Arc, Mutex};
 /// A thread that is not in an operation announces this sentinel.
 const QUIESCENT: u64 = u64::MAX;
 
+/// One thread's limbo bags: (epoch tag, objects retired under that tag).
+type LimboBags = Mutex<Vec<(u64, Vec<Retired>)>>;
+
 struct MiniEbr {
     common: SchemeCommon,
     epoch: AtomicU64,
     announce: Box<[AtomicU64]>,
     /// Per-thread limbo bags of (epoch tag, objects). A Mutex keeps the
     /// example short; the real schemes use owner-indexed slots instead.
-    bags: Box<[Mutex<Vec<(u64, Vec<Retired>)>>]>,
+    bags: Box<[LimboBags]>,
 }
 
 impl MiniEbr {
@@ -55,7 +58,9 @@ impl MiniEbr {
         if !all_current {
             return;
         }
-        let _ = self.epoch.compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
+        let _ = self
+            .epoch
+            .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst);
         self.common.stats.get(tid).on_scan();
         self.common.record_epoch_advance(tid, e + 1);
         let mut bag = self.bags[tid].lock().unwrap();

@@ -70,9 +70,18 @@ fn main() {
     println!("nodes freed:          {}", s.freed);
     println!("token circulations:   {}", s.epochs);
     println!("unreclaimed garbage:  {}", s.garbage);
-    println!("tcache flushes:       {}  <- amortized free keeps this tiny", a.totals.flushes);
-    println!("remote frees:         {}  <- and this near zero", a.totals.remote_freed);
-    println!("peak pool memory:     {:.1} MiB", alloc.peak_bytes() as f64 / 1048576.0);
+    println!(
+        "tcache flushes:       {}  <- amortized free keeps this tiny",
+        a.totals.flushes
+    );
+    println!(
+        "remote frees:         {}  <- and this near zero",
+        a.totals.remote_freed
+    );
+    println!(
+        "peak pool memory:     {:.1} MiB",
+        alloc.peak_bytes() as f64 / 1048576.0
+    );
     tree.check_invariants().expect("tree invariants");
     println!("invariants: OK");
 }

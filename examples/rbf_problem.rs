@@ -14,7 +14,10 @@ fn main() {
     let threads = epochs_too_epic::util::Topology::detect().logical_cpus * 2;
     println!("ABtree + DEBRA on the jemalloc model, {threads} threads, 50/50 insert/delete\n");
 
-    for (label, amortize) in [("BATCH FREE (the anti-pattern)", false), ("AMORTIZED FREE (the fix)", true)] {
+    for (label, amortize) in [
+        ("BATCH FREE (the anti-pattern)", false),
+        ("AMORTIZED FREE (the fix)", true),
+    ] {
         let mut cfg = WorkloadCfg::new(TreeKind::Ab, SmrKind::Debra, threads);
         cfg.millis = 500;
         if amortize {
@@ -26,7 +29,10 @@ fn main() {
         println!("   throughput        {:>10.2} M ops/s", r.throughput / 1e6);
         println!("   objects freed     {:>10}", r.smr.freed);
         println!("   tcache flushes    {:>10}", a.flushes);
-        println!("   remote frees      {:>10}   (objects returned to other threads' arenas)", a.remote_freed);
+        println!(
+            "   remote frees      {:>10}   (objects returned to other threads' arenas)",
+            a.remote_freed
+        );
         println!("   % time freeing    {:>10.1}", r.pct_free(threads));
         println!("   % time in flush   {:>10.1}", r.pct_flush(threads));
         println!("   % time lock-spin  {:>10.1}", r.pct_lock(threads));

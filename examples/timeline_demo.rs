@@ -23,7 +23,9 @@ fn main() {
     let rec = r.recorder.as_ref().expect("timeline enabled");
 
     let opts = RenderOptions {
-        title: format!("DEBRA batch frees, {threads} threads (boxes = batch frees, o/^ = epoch advances)"),
+        title: format!(
+            "DEBRA batch frees, {threads} threads (boxes = batch frees, o/^ = epoch advances)"
+        ),
         width: 110,
         max_rows: threads,
         ..Default::default()

@@ -1,0 +1,55 @@
+//! # epochs_too_epic — umbrella crate for the PPoPP 2024 reproduction
+//!
+//! Reproduction of **"Are Your Epochs Too Epic? Batch Free Can Be Harmful"**
+//! (PPoPP 2024): epoch-based memory reclamation schemes free
+//! retired objects in large batches, and those batches overflow allocator
+//! thread caches and serialize on arena locks — *Amortized Free* spreads the
+//! frees across subsequent operations and recovers the lost throughput.
+//!
+//! This facade re-exports the workspace sub-crates under short module names
+//! so examples and downstream users need a single dependency:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`alloc`] | `epic-alloc` | pool allocator with je/tc/mi free-path models |
+//! | [`smr`] | `epic-smr` | reclamation schemes, `FreeMode`, Token-EBR |
+//! | [`ds`] | `epic-ds` | (a,b)-tree, OCC BST, DGT tree, HM list |
+//! | [`harness`] | `epic-harness` | workloads, trials, experiment registry |
+//! | [`timeline`] | `epic-timeline` | event recorder + ASCII/SVG renderer |
+//! | [`util`] | `epic-util` | padding, locks, RNGs, topology, stats |
+//!
+//! Start with the `quickstart` example (`cargo run --release --example
+//! quickstart`), then `README.md` for the crate map and `DESIGN.md` for how
+//! the reproduction maps onto the paper's figures.
+
+#![warn(missing_docs)]
+
+/// The allocator layer: re-export of [`epic_alloc`].
+pub mod alloc {
+    pub use epic_alloc::*;
+}
+
+/// The reclamation layer: re-export of [`epic_smr`].
+pub mod smr {
+    pub use epic_smr::*;
+}
+
+/// The data-structure layer: re-export of [`epic_ds`].
+pub mod ds {
+    pub use epic_ds::*;
+}
+
+/// The experiment harness: re-export of [`epic_harness`].
+pub mod harness {
+    pub use epic_harness::*;
+}
+
+/// Timeline recording and rendering: re-export of [`epic_timeline`].
+pub mod timeline {
+    pub use epic_timeline::*;
+}
+
+/// Low-level utilities: re-export of [`epic_util`].
+pub mod util {
+    pub use epic_util::*;
+}

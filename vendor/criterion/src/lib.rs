@@ -1,0 +1,259 @@
+//! Vendored shim for the subset of [`criterion`](https://docs.rs/criterion)
+//! the `epic-bench` microbenchmarks use: `Criterion`, benchmark groups,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! `criterion` dependency resolves to this path crate. It is not a toy: each
+//! benchmark is warmed up, then timed over enough iterations to fill a
+//! measurement window, and the median/mean/min per-iteration times are
+//! printed in criterion's familiar `time: [low mid high]` shape. There are
+//! no HTML reports, statistics beyond that, or CLI filters. Swap in the real
+//! crate via the root manifest when building online.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to [`Bencher::iter`] closures' host functions.
+pub struct Criterion {
+    /// Target wall-clock time of one measurement window. Criterion defaults
+    /// to 3 s + 3 s warm-up; the shim keeps CI fast with 300 ms, which is
+    /// ample for the ns-scale operations benchmarked here. Overridden by
+    /// `EPIC_BENCH_MILLIS` (read once at construction).
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("EPIC_BENCH_MILLIS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            window: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement window, overriding the env-derived default.
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("{name}");
+        BenchmarkGroup { c: self, name }
+    }
+
+    /// Runs a single standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.window, &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.c.window, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.c.window, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing-only in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group: a function name, a parameter,
+/// or both.
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id that is only a parameter (the group name is the function).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Timing loop handle: call [`iter`](Bencher::iter) exactly once per
+/// benchmark closure invocation.
+pub struct Bencher {
+    /// Total elapsed time across `iters` routine invocations.
+    elapsed: Duration,
+    /// Number of routine invocations to time.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_one(label: &str, window: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up: double the batch size until a batch fills 1/3 of the window.
+    let warm_target = window / 3;
+    let mut iters: u64 = 1;
+    let mut warm_spent = Duration::ZERO;
+    loop {
+        let t = time_batch(f, iters);
+        warm_spent += t;
+        if t >= warm_target || warm_spent >= window || iters >= u64::MAX / 2 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    // Measurement: split the window into sample batches of the calibrated
+    // size and keep per-iteration times for the summary.
+    let batch = iters.max(1);
+    let mut samples: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < window || samples.len() < 3 {
+        let t = time_batch(f, batch);
+        samples.push(t.as_nanos() as f64 / batch as f64);
+        if samples.len() >= 1024 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples.first().copied().unwrap_or(0.0);
+    let median = samples[samples.len() / 2];
+    let max = samples.last().copied().unwrap_or(0.0);
+    println!(
+        "{label:<48} time: [{} {} {}]  ({} samples x {batch} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        samples.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro: takes a
+/// group name followed by the benchmark functions to run.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("get", "ab").to_string(), "get/ab");
+        assert_eq!(BenchmarkId::from_parameter("je").to_string(), "je");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}
