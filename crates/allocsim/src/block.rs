@@ -28,7 +28,13 @@ pub struct BlockHeader {
     /// Birth era stamped by era-based SMR schemes; untouched by the
     /// allocator models themselves except for zeroing on alloc.
     pub birth_era: AtomicU64,
-    _pad: u64,
+    /// Retire era stamped by era-based SMR schemes at retirement. Like
+    /// [`next`](Self::next), this word belongs to whoever owns the block's
+    /// current lifecycle stage: it is idle while the block is live and is
+    /// scratch for the retire pipeline between unlink and free (the SMR
+    /// limbo lists thread themselves through `next` and keep the retired
+    /// object's era interval here, so retirement needs no side allocation).
+    pub retire_era: AtomicU64,
 }
 
 /// Size of the block header in bytes.
@@ -49,7 +55,7 @@ impl BlockHeader {
                 class,
                 next: AtomicUsize::new(0),
                 birth_era: AtomicU64::new(0),
-                _pad: 0,
+                retire_era: AtomicU64::new(0),
             });
         }
     }
@@ -100,6 +106,30 @@ pub unsafe fn birth_era(user: NonNull<u8>) -> u64 {
     // SAFETY: forwarded to caller.
     unsafe { BlockHeader::from_user(user) }
         .birth_era
+        .load(Ordering::Acquire)
+}
+
+/// Stamps the SMR retire era of a block.
+///
+/// # Safety
+/// `user` must be a live block from one of this crate's pool models.
+#[inline]
+pub unsafe fn set_retire_era(user: NonNull<u8>, era: u64) {
+    // SAFETY: forwarded to caller.
+    unsafe { BlockHeader::from_user(user) }
+        .retire_era
+        .store(era, Ordering::Release);
+}
+
+/// Reads the SMR retire era of a block.
+///
+/// # Safety
+/// `user` must be a live block from one of this crate's pool models.
+#[inline]
+pub unsafe fn retire_era(user: NonNull<u8>) -> u64 {
+    // SAFETY: forwarded to caller.
+    unsafe { BlockHeader::from_user(user) }
+        .retire_era
         .load(Ordering::Acquire)
 }
 
@@ -213,6 +243,21 @@ mod tests {
             let user = (*(p as *const BlockHeader)).user_ptr();
             set_birth_era(user, 42);
             assert_eq!(birth_era(user), 42);
+            dealloc(p, layout);
+        }
+    }
+
+    #[test]
+    fn retire_era_accessors_and_init() {
+        let (p, layout) = raw_block();
+        // SAFETY: as above.
+        unsafe {
+            BlockHeader::init(p as *mut BlockHeader, 0, 0);
+            let user = (*(p as *const BlockHeader)).user_ptr();
+            assert_eq!(retire_era(user), 0, "fresh headers zero the retire era");
+            set_retire_era(user, 99);
+            assert_eq!(retire_era(user), 99);
+            assert_eq!(birth_era(user), 0, "the two era words are independent");
             dealloc(p, layout);
         }
     }

@@ -529,6 +529,28 @@ mod tests {
     }
 
     #[test]
+    fn flush_scratch_is_recycled_not_reallocated() {
+        // The flush scratch is part of the hot free path: it must be
+        // reused via clear() against its pre-reserved capacity, never
+        // regrown, or flush storms would charge allocator-internal heap
+        // traffic to the workload under test.
+        let m = model(1);
+        // SAFETY: single-threaded test.
+        let cap0 = unsafe { m.threads.get_mut(0) }.scratch.capacity();
+        assert!(cap0 >= m.tcache_cap(), "scratch pre-reserves a full bin");
+        for _ in 0..32 {
+            let ptrs: Vec<_> = (0..64).map(|_| m.alloc(0, 64)).collect();
+            for p in ptrs {
+                m.dealloc(0, p);
+            }
+        }
+        assert!(m.thread_stats(0).flushes > 0, "churn must overflow the bin");
+        // SAFETY: single-threaded test.
+        let cap1 = unsafe { m.threads.get_mut(0) }.scratch.capacity();
+        assert_eq!(cap1, cap0, "flush scratch regrown on the hot path");
+    }
+
+    #[test]
     fn reset_stats_keeps_memory() {
         let m = model(1);
         let p = m.alloc(0, 64);

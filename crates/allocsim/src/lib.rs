@@ -48,6 +48,7 @@ pub mod classes;
 pub mod cost;
 pub mod je;
 pub mod mi;
+pub mod segpool;
 pub mod spinbin;
 pub mod stats;
 pub mod sys;
@@ -60,6 +61,7 @@ pub use classes::{class_of, size_of_class, NUM_CLASSES};
 pub use cost::{CostModel, MachinePreset};
 pub use je::JeModel;
 pub use mi::MiModel;
+pub use segpool::{Segment, SegmentPool};
 pub use stats::{AllocSnapshot, ThreadAllocStats};
 pub use sys::SysModel;
 pub use tc::TcModel;

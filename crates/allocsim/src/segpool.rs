@@ -1,0 +1,185 @@
+//! Recycled scratch segments for the reclamation schemes' scan paths.
+//!
+//! A hazard/era scan needs a short-lived snapshot buffer (published
+//! pointers, reserved eras, acknowledgment flags). Allocating that buffer
+//! per scan charges allocator traffic to the scheme under test — exactly
+//! the measurement pollution the zero-allocation retire pipeline removes.
+//! A [`SegmentPool`] is a per-thread stack of recycled [`Segment`]s: the
+//! first acquisition of each concurrently-live segment heap-allocates (and
+//! is counted, so harnesses can assert steady state performs none); every
+//! later acquisition reuses a pooled spine.
+
+use std::ops::{Deref, DerefMut};
+
+/// A scratch buffer of `u64` slots borrowed from a [`SegmentPool`].
+///
+/// Derefs to `Vec<u64>`; callers push whatever word-sized records a scan
+/// needs (addresses, eras, interval halves, flags). Return it with
+/// [`SegmentPool::release`] so the spine is recycled — dropping it instead
+/// simply forfeits the buffer (correct, but the next acquire re-allocates).
+#[derive(Debug, Default)]
+pub struct Segment {
+    buf: Vec<u64>,
+    /// Capacity at acquire time; growth past it while borrowed is a heap
+    /// allocation the pool charges at release.
+    granted: usize,
+}
+
+impl Deref for Segment {
+    type Target = Vec<u64>;
+
+    fn deref(&self) -> &Vec<u64> {
+        &self.buf
+    }
+}
+
+impl DerefMut for Segment {
+    fn deref_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.buf
+    }
+}
+
+/// How many released segments a pool retains before letting extras drop.
+/// Scans use at most a couple of segments at a time; anything beyond this
+/// is a leak-shaped bug, not a workload.
+const POOL_RETAIN: usize = 4;
+
+/// A per-owner pool of recycled [`Segment`]s with heap-allocation
+/// accounting. Not thread-safe: embed one per thread (the SMR layer keeps
+/// one per tid).
+#[derive(Debug)]
+pub struct SegmentPool {
+    free: Vec<Segment>,
+    /// Capacity given to freshly-allocated or grown segments.
+    default_cap: usize,
+    /// Heap allocations (fresh segments + capacity growth) since the last
+    /// [`take_heap_allocs`](Self::take_heap_allocs).
+    heap_allocs: u64,
+}
+
+impl SegmentPool {
+    /// A pool whose fresh segments start with `default_cap` slots.
+    pub fn new(default_cap: usize) -> Self {
+        SegmentPool {
+            free: Vec::with_capacity(POOL_RETAIN),
+            default_cap: default_cap.max(1),
+            heap_allocs: 0,
+        }
+    }
+
+    /// Borrows a cleared segment with capacity for at least `min_cap`
+    /// slots, recycling a pooled spine when one is available. Fresh
+    /// allocations and capacity growth are counted (see
+    /// [`take_heap_allocs`](Self::take_heap_allocs)).
+    pub fn acquire(&mut self, min_cap: usize) -> Segment {
+        let mut seg = match self.free.pop() {
+            Some(seg) => seg,
+            None => {
+                self.heap_allocs += 1;
+                Segment {
+                    buf: Vec::with_capacity(self.default_cap.max(min_cap)),
+                    granted: 0,
+                }
+            }
+        };
+        seg.buf.clear();
+        if seg.buf.capacity() < min_cap {
+            self.heap_allocs += 1;
+            seg.buf.reserve(min_cap - seg.buf.len());
+        }
+        seg.granted = seg.buf.capacity();
+        seg
+    }
+
+    /// Returns a segment to the pool for reuse. A segment that grew past
+    /// its granted capacity while borrowed reallocated on the heap behind
+    /// the pool's back — charge it now, so the zero-allocation accounting
+    /// has no blind spot (callers that can bound their need should pass
+    /// the bound to [`acquire`](Self::acquire) instead).
+    pub fn release(&mut self, seg: Segment) {
+        if seg.buf.capacity() > seg.granted {
+            self.heap_allocs += 1;
+        }
+        if self.free.len() < POOL_RETAIN {
+            self.free.push(seg);
+        }
+    }
+
+    /// Drains the heap-allocation count accumulated since the last call.
+    pub fn take_heap_allocs(&mut self) -> u64 {
+        std::mem::take(&mut self.heap_allocs)
+    }
+
+    /// Segments currently pooled (idle).
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_state_acquire_release_never_allocates() {
+        let mut pool = SegmentPool::new(16);
+        let seg = pool.acquire(8);
+        assert_eq!(pool.take_heap_allocs(), 1, "first acquire allocates");
+        pool.release(seg);
+        for i in 0..100u64 {
+            let mut seg = pool.acquire(8);
+            assert!(seg.is_empty(), "segments come back cleared");
+            seg.push(i);
+            pool.release(seg);
+        }
+        assert_eq!(pool.take_heap_allocs(), 0, "recycling must be free");
+        assert_eq!(pool.pooled(), 1);
+    }
+
+    #[test]
+    fn growth_is_counted_then_retained() {
+        let mut pool = SegmentPool::new(4);
+        let seg = pool.acquire(4);
+        pool.release(seg);
+        pool.take_heap_allocs();
+        // A larger ask grows the recycled spine once...
+        let seg = pool.acquire(64);
+        assert!(seg.capacity() >= 64);
+        pool.release(seg);
+        assert_eq!(pool.take_heap_allocs(), 1);
+        // ...and the grown capacity is kept for next time.
+        let seg = pool.acquire(64);
+        pool.release(seg);
+        assert_eq!(pool.take_heap_allocs(), 0);
+    }
+
+    #[test]
+    fn growth_while_borrowed_is_charged_at_release() {
+        let mut pool = SegmentPool::new(4);
+        let mut seg = pool.acquire(4);
+        pool.take_heap_allocs();
+        // The borrower outgrows what it asked for: the Vec reallocates
+        // outside the pool's sight...
+        seg.extend(0..64u64);
+        pool.release(seg);
+        // ...and the pool charges it on the way back in.
+        assert_eq!(pool.take_heap_allocs(), 1);
+        // The grown spine is retained, so the next borrow of that size is
+        // free again.
+        let mut seg = pool.acquire(64);
+        seg.extend(0..64u64);
+        pool.release(seg);
+        assert_eq!(pool.take_heap_allocs(), 0);
+    }
+
+    #[test]
+    fn concurrent_borrows_and_retain_cap() {
+        let mut pool = SegmentPool::new(8);
+        let segs: Vec<Segment> = (0..6).map(|_| pool.acquire(8)).collect();
+        assert_eq!(pool.take_heap_allocs(), 6, "each live borrow is its own");
+        for seg in segs {
+            pool.release(seg);
+        }
+        assert_eq!(pool.pooled(), POOL_RETAIN, "extras past the cap drop");
+    }
+}

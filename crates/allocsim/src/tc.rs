@@ -247,6 +247,25 @@ mod tests {
     }
 
     #[test]
+    fn flush_scratch_is_recycled_not_reallocated() {
+        // Same contract as the je model: the flush scratch is cleared and
+        // reused, never regrown mid-run.
+        let m = model(1);
+        // SAFETY: single-threaded test.
+        let cap0 = unsafe { m.threads.get_mut(0) }.scratch.capacity();
+        for _ in 0..32 {
+            let ptrs: Vec<_> = (0..64).map(|_| m.alloc(0, 64)).collect();
+            for p in ptrs {
+                m.dealloc(0, p);
+            }
+        }
+        assert!(m.thread_stats(0).flushes > 0, "churn must overflow the bin");
+        // SAFETY: single-threaded test.
+        let cap1 = unsafe { m.threads.get_mut(0) }.scratch.capacity();
+        assert_eq!(cap1, cap0, "flush scratch regrown on the hot path");
+    }
+
+    #[test]
     fn flush_hits_central_once_per_overflow() {
         let m = model(1);
         let ptrs: Vec<_> = (0..64).map(|_| m.alloc(0, 64)).collect();

@@ -1,12 +1,18 @@
 //! Machinery shared by every scheme: batch disposal (batch vs amortized),
-//! timeline instrumentation, garbage sampling.
+//! timeline instrumentation, garbage sampling, recycled scan scratch.
+//!
+//! Everything here is on the retire→rotate→drain→free path and therefore
+//! allocation-free in steady state: safe batches move as O(1) intrusive
+//! splices ([`RetiredList`]), and reclamation scans borrow recycled
+//! [`Segment`] scratch whose rare heap misses are counted into
+//! [`SmrStats`] (`retire_path_allocs`) so the harness can assert zero.
 
 use crate::config::{FreeMode, SmrConfig};
 use crate::freebuf::{FreeBuffer, PoolBins};
-use crate::retired::Retired;
+use crate::retired::RetiredList;
 use crate::smr_stats::SmrStats;
 
-use epic_alloc::{PoolAllocator, Tid};
+use epic_alloc::{PoolAllocator, Segment, SegmentPool, Tid};
 use epic_timeline::EventKind;
 use epic_util::{now_ns, TidSlots};
 use std::ptr::NonNull;
@@ -16,8 +22,9 @@ use std::sync::Arc;
 
 /// Work sent to the background reclaimer thread.
 enum BgMsg {
-    /// A safe batch to free.
-    Batch(Vec<Retired>),
+    /// A safe batch to free (the intrusive list travels whole; the channel
+    /// send is the synchronizing hand-off).
+    Batch(RetiredList),
     /// Flush barrier: ack once everything sent before it is freed.
     Sync(mpsc::Sender<()>),
 }
@@ -38,6 +45,8 @@ pub struct SchemeCommon {
     pub stats: SmrStats,
     freebufs: TidSlots<FreeBuffer>,
     pools: TidSlots<PoolBins>,
+    /// Recycled scan scratch, one pool per thread.
+    scratch_pools: TidSlots<SegmentPool>,
     bg: Option<BgReclaimer>,
 }
 
@@ -48,6 +57,9 @@ impl SchemeCommon {
         // Stats get one extra slot so the background reclaimer (tid == n)
         // has somewhere to account its frees.
         let stats = SmrStats::new(n + 1);
+        // Scan snapshots are bounded by the widest published state any
+        // scheme keeps: two era words per hazard slot per thread.
+        let scratch_cap = (n * cfg.hp_slots * 2).max(16);
         let bg = matches!(cfg.mode, FreeMode::Background).then(|| {
             let (sender, receiver) = mpsc::channel::<BgMsg>();
             let alloc = Arc::clone(&alloc);
@@ -61,8 +73,8 @@ impl SchemeCommon {
                     let bg_tid = n;
                     while let Ok(msg) = receiver.recv() {
                         match msg {
-                            BgMsg::Batch(batch) => {
-                                for r in batch {
+                            BgMsg::Batch(mut batch) => {
+                                while let Some(r) = batch.pop() {
                                     alloc.dealloc(bg_tid, r.ptr);
                                 }
                             }
@@ -84,6 +96,7 @@ impl SchemeCommon {
             stats,
             freebufs: TidSlots::new_with(n, |_| FreeBuffer::new()),
             pools: TidSlots::new_with(n, |_| PoolBins::new()),
+            scratch_pools: TidSlots::new_with(n, |_| SegmentPool::new(scratch_cap)),
             bg,
         }
     }
@@ -94,10 +107,37 @@ impl SchemeCommon {
         self.cfg.max_threads
     }
 
+    /// Borrows `tid`'s recycled scan scratch, cleared, with room for at
+    /// least `min_cap` slots. Return it with
+    /// [`scratch_done`](Self::scratch_done); the rare heap allocation a
+    /// miss costs is charged to the `retire_path_allocs` counter.
+    pub fn scratch(&self, tid: Tid, min_cap: usize) -> Segment {
+        // SAFETY: tid-exclusivity contract.
+        let pool = unsafe { self.scratch_pools.get_mut(tid) };
+        let seg = pool.acquire(min_cap);
+        let fresh = pool.take_heap_allocs();
+        if fresh > 0 {
+            self.stats.get(tid).on_retire_path_alloc(fresh);
+        }
+        seg
+    }
+
+    /// Returns a borrowed scratch segment for recycling. A segment that
+    /// grew past its granted capacity while borrowed is charged here.
+    pub fn scratch_done(&self, tid: Tid, seg: Segment) {
+        // SAFETY: tid-exclusivity contract.
+        let pool = unsafe { self.scratch_pools.get_mut(tid) };
+        pool.release(seg);
+        let grown = pool.take_heap_allocs();
+        if grown > 0 {
+            self.stats.get(tid).on_retire_path_alloc(grown);
+        }
+    }
+
     /// Disposes of a batch that has just been proven *safe to free*,
-    /// according to the configured [`FreeMode`]. The batch vector is left
+    /// according to the configured [`FreeMode`]. The batch list is left
     /// empty (reusable).
-    pub fn dispose(&self, tid: Tid, batch: &mut Vec<Retired>) {
+    pub fn dispose(&self, tid: Tid, batch: &mut RetiredList) {
         if batch.is_empty() {
             return;
         }
@@ -123,7 +163,7 @@ impl SchemeCommon {
                 // Freed-count accounting happens here (sender side) so the
                 // garbage gauge stays single-writer per tid; the actual
                 // dealloc time lands on the background thread's core.
-                let sent: Vec<Retired> = std::mem::take(batch);
+                let sent = batch.take();
                 if bg.sender.send(BgMsg::Batch(sent)).is_ok() {
                     self.stats.get(tid).on_free(n);
                 }
@@ -134,13 +174,13 @@ impl SchemeCommon {
     /// Frees a whole batch immediately, recording one `BatchFree` timeline
     /// event covering it (the boxes of Fig. 2) plus per-call events when
     /// enabled (Fig. 3 / Fig. 17).
-    pub fn free_batch_now(&self, tid: Tid, batch: &mut Vec<Retired>) {
+    pub fn free_batch_now(&self, tid: Tid, batch: &mut RetiredList) {
         if batch.is_empty() {
             return;
         }
         let n = batch.len() as u64;
         let t0 = now_ns();
-        for r in batch.drain(..) {
+        while let Some(r) = batch.pop() {
             self.dealloc_recorded(tid, r);
         }
         let t1 = now_ns();
@@ -200,7 +240,8 @@ impl SchemeCommon {
                 // SAFETY: tid-exclusivity contract.
                 let pool = unsafe { self.pools.get_mut(tid) };
                 if pool.len() > self.cfg.af_backlog_cap {
-                    let mut excess = pool.take_excess(1);
+                    let mut excess = RetiredList::new();
+                    pool.take_excess(1, &mut excess);
                     self.free_batch_now(tid, &mut excess);
                 }
                 return;
@@ -215,6 +256,13 @@ impl SchemeCommon {
     }
 
     /// Drains up to `n` objects from `tid`'s freeable list.
+    ///
+    /// Timing: with per-call recording on, every free is clocked exactly
+    /// (the whole point of that mode). Otherwise this per-operation fast
+    /// path samples 1 drain in [`crate::smr_stats::DRAIN_SAMPLE_PERIOD`]
+    /// and extrapolates, like the allocator's own counters — two clock
+    /// reads per operation would otherwise dominate the drained object's
+    /// cost.
     #[inline]
     fn drain_n(&self, tid: Tid, n: usize) {
         // SAFETY: tid-exclusivity contract.
@@ -222,17 +270,31 @@ impl SchemeCommon {
         if buf.is_empty() {
             return;
         }
-        let t0 = now_ns();
-        let mut freed = 0u64;
-        for r in buf.take(n) {
-            freed += 1;
-            // Inlined dealloc_recorded to keep the borrow of `buf` simple.
-            self.dealloc_one(tid, r);
-        }
-        let t1 = now_ns();
         let c = self.stats.get(tid);
+        if self.cfg.free_call_record_ns != u64::MAX {
+            let t0 = now_ns();
+            let mut freed = 0u64;
+            for _ in 0..n {
+                let Some(r) = buf.pop() else { break };
+                freed += 1;
+                self.dealloc_one(tid, r);
+            }
+            let t1 = now_ns();
+            c.on_free(freed);
+            c.add_free_ns(t1 - t0);
+            return;
+        }
+        let t0 = c.on_drain_tick().then(now_ns);
+        let mut freed = 0u64;
+        for _ in 0..n {
+            let Some(r) = buf.pop() else { break };
+            freed += 1;
+            self.alloc.dealloc(tid, r.ptr);
+        }
         c.on_free(freed);
-        c.add_free_ns(t1 - t0);
+        if let Some(t0) = t0 {
+            c.add_sampled_free_ns(now_ns() - t0);
+        }
     }
 
     /// Frees one retired object. When per-call recording is enabled, the
@@ -240,7 +302,7 @@ impl SchemeCommon {
     /// Appendix F percentiles) and, if long enough, into the timeline as an
     /// individual `FreeCall` event.
     #[inline]
-    fn dealloc_one(&self, tid: Tid, r: Retired) {
+    fn dealloc_one(&self, tid: Tid, r: crate::Retired) {
         if self.cfg.free_call_record_ns != u64::MAX {
             let t0 = now_ns();
             self.alloc.dealloc(tid, r.ptr);
@@ -263,7 +325,7 @@ impl SchemeCommon {
     /// Like [`dealloc_one`](Self::dealloc_one) (separate name so batch and
     /// tick paths read clearly at call sites).
     #[inline]
-    fn dealloc_recorded(&self, tid: Tid, r: Retired) {
+    fn dealloc_recorded(&self, tid: Tid, r: crate::Retired) {
         self.dealloc_one(tid, r);
     }
 
@@ -284,8 +346,7 @@ impl SchemeCommon {
     pub fn drain_freebuf(&self, tid: Tid) {
         // SAFETY: callers guarantee quiescence (trait contract of
         // `quiesce_and_drain`).
-        let buf = unsafe { self.freebufs.get_mut(tid) };
-        let mut all: Vec<Retired> = buf.take(usize::MAX).collect();
+        let mut all = unsafe { self.freebufs.get_mut(tid) }.drain_all();
         self.free_batch_now(tid, &mut all);
         // SAFETY: quiescence, as above.
         let mut pooled = unsafe { self.pools.get_mut(tid) }.drain_all();
@@ -339,6 +400,7 @@ impl Drop for SchemeCommon {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Retired;
     use epic_alloc::{build_allocator, AllocatorKind, CostModel};
     use epic_timeline::{Recorder, Series};
 
@@ -351,14 +413,15 @@ mod tests {
         SchemeCommon::new(alloc, cfg)
     }
 
-    fn make_batch(c: &SchemeCommon, tid: Tid, n: usize) -> Vec<Retired> {
-        (0..n)
-            .map(|_| {
-                let p = c.alloc.alloc(tid, 64);
-                c.stats.get(tid).on_retire(1);
-                Retired::new(p)
-            })
-            .collect()
+    fn make_batch(c: &SchemeCommon, tid: Tid, n: usize) -> RetiredList {
+        let mut list = RetiredList::new();
+        for _ in 0..n {
+            let p = c.alloc.alloc(tid, 64);
+            c.stats.get(tid).on_retire(1);
+            // SAFETY: live block of c.alloc, exclusively ours.
+            unsafe { list.push(Retired::new(p)) };
+        }
+        list
     }
 
     #[test]
@@ -468,7 +531,12 @@ mod tests {
         // Retire a 64-byte block; it must come back for a 64-byte request
         // but not for a 256-byte one.
         let mut batch = make_batch(&c, 0, 1);
-        let retired_addr = batch[0].addr();
+        let retired_addr = {
+            let r = batch.pop().unwrap();
+            // SAFETY: live block of c.alloc, exclusively ours.
+            unsafe { batch.push(r) };
+            r.addr()
+        };
         c.dispose(0, &mut batch);
         assert_eq!(c.pool_len(0), 1);
         assert!(c.pool_alloc(0, 256).is_none(), "class mismatch must miss");
@@ -537,5 +605,25 @@ mod tests {
         c.sync_background();
         drop(c); // must join without hanging
         assert_eq!(alloc.snapshot().totals.deallocs, 5);
+    }
+
+    #[test]
+    fn scratch_recycles_without_counting_allocs() {
+        let c = common(FreeMode::Batch);
+        let mut seg = c.scratch(0, 8);
+        seg.push(42);
+        c.scratch_done(0, seg);
+        let first = c.stats.snapshot().retire_path_allocs;
+        assert!(first >= 1, "first borrow heap-allocates and is counted");
+        for _ in 0..64 {
+            let seg = c.scratch(0, 8);
+            assert!(seg.is_empty(), "scratch comes back cleared");
+            c.scratch_done(0, seg);
+        }
+        assert_eq!(
+            c.stats.snapshot().retire_path_allocs,
+            first,
+            "steady-state scratch borrows must not allocate"
+        );
     }
 }

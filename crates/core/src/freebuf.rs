@@ -13,40 +13,53 @@
 //! serves allocations. [`PoolBins`] is the pooling alternative the paper
 //! declines (and footnote 4 credits for VBR's performance), implemented
 //! separately so the `ablation_pooled` bench can compare the two.
+//!
+//! Both are thin shells over [`RetiredList`]: absorbing a safe batch is an
+//! O(1) intrusive splice, and neither structure allocates after
+//! construction — the freeable list's spine is the retired memory itself.
 
-use crate::retired::Retired;
+use crate::retired::{Retired, RetiredList};
 use epic_alloc::{class_of, BlockHeader, NUM_CLASSES};
-use std::collections::VecDeque;
 
 /// FIFO freeable list. FIFO matters: the oldest safe objects are freed
 /// first, bounding the staleness of any queued object.
 #[derive(Debug, Default)]
 pub struct FreeBuffer {
-    queue: VecDeque<Retired>,
+    queue: RetiredList,
 }
 
 impl FreeBuffer {
     /// An empty buffer.
     pub fn new() -> Self {
         FreeBuffer {
-            queue: VecDeque::new(),
+            queue: RetiredList::new(),
         }
     }
 
-    /// Queues an entire safe batch.
-    pub fn absorb(&mut self, batch: &mut Vec<Retired>) {
-        self.queue.extend(batch.drain(..));
+    /// Queues an entire safe batch (O(1) splice; `batch` is left empty).
+    pub fn absorb(&mut self, batch: &mut RetiredList) {
+        self.queue.append(batch);
     }
 
     /// Queues one object.
-    pub fn push(&mut self, r: Retired) {
-        self.queue.push_back(r);
+    ///
+    /// # Safety
+    /// Same contract as [`RetiredList::push`]: a live, exclusively-owned
+    /// pool-allocator block.
+    pub unsafe fn push(&mut self, r: Retired) {
+        // SAFETY: forwarded to caller.
+        unsafe { self.queue.push(r) };
     }
 
-    /// Takes up to `n` of the oldest objects.
-    pub fn take(&mut self, n: usize) -> impl Iterator<Item = Retired> + '_ {
-        let n = n.min(self.queue.len());
-        self.queue.drain(..n)
+    /// Takes the oldest queued object, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Retired> {
+        self.queue.pop()
+    }
+
+    /// Splices the entire backlog out (teardown).
+    pub fn drain_all(&mut self) -> RetiredList {
+        self.queue.take()
     }
 
     /// Objects still queued.
@@ -66,7 +79,7 @@ impl FreeBuffer {
 /// the same reason the allocators' thread caches pop newest-first.
 #[derive(Debug)]
 pub struct PoolBins {
-    bins: Box<[Vec<Retired>; NUM_CLASSES]>,
+    bins: Box<[RetiredList; NUM_CLASSES]>,
     len: usize,
 }
 
@@ -80,22 +93,23 @@ impl PoolBins {
     /// An empty pool.
     pub fn new() -> Self {
         PoolBins {
-            bins: Box::new(std::array::from_fn(|_| Vec::new())),
+            bins: Box::new(std::array::from_fn(|_| RetiredList::new())),
             len: 0,
         }
     }
 
     /// Queues a safe batch, binned by each block's size class (read from
-    /// its header).
+    /// its header). `batch` is left empty.
     ///
     /// # Safety
     /// Every pointer in `batch` must be a live block from the scheme's
     /// pool allocator (so its header is readable).
-    pub unsafe fn absorb(&mut self, batch: &mut Vec<Retired>) {
-        for r in batch.drain(..) {
+    pub unsafe fn absorb(&mut self, batch: &mut RetiredList) {
+        while let Some(r) = batch.pop() {
             // SAFETY: forwarded to caller.
             let class = unsafe { BlockHeader::from_user(r.ptr) }.class as usize;
-            self.bins[class].push(r);
+            // SAFETY: popped from a RetiredList, so still exclusively ours.
+            unsafe { self.bins[class].push_front(r) };
             self.len += 1;
         }
     }
@@ -110,28 +124,27 @@ impl PoolBins {
         r
     }
 
-    /// Takes up to `n` blocks (largest-bin first) for draining excess pool
-    /// memory back to the allocator.
-    pub fn take_excess(&mut self, n: usize) -> Vec<Retired> {
-        let mut out = Vec::with_capacity(n.min(self.len));
-        while out.len() < n {
+    /// Moves up to `n` blocks (largest-bin first) into `out`, for draining
+    /// excess pool memory back to the allocator.
+    pub fn take_excess(&mut self, n: usize, out: &mut RetiredList) {
+        for _ in 0..n {
             let Some(bin) = self.bins.iter_mut().max_by_key(|b| b.len()) else {
                 break;
             };
             match bin.pop() {
                 Some(r) => {
                     self.len -= 1;
-                    out.push(r);
+                    // SAFETY: popped from our bin, still exclusively ours.
+                    unsafe { out.push(r) };
                 }
                 None => break,
             }
         }
-        out
     }
 
     /// Drains the entire pool (teardown).
-    pub fn drain_all(&mut self) -> Vec<Retired> {
-        let mut out = Vec::with_capacity(self.len);
+    pub fn drain_all(&mut self) -> RetiredList {
+        let mut out = RetiredList::new();
         for bin in self.bins.iter_mut() {
             out.append(bin);
         }
@@ -153,64 +166,84 @@ impl PoolBins {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::ptr::NonNull;
+    use epic_alloc::{build_allocator, AllocatorKind, CostModel, PoolAllocator};
+    use std::sync::Arc;
 
-    fn retired(tag: usize) -> Retired {
-        // Tests only compare addresses; fabricate distinct non-null values.
-        Retired::new(NonNull::new(tag as *mut u8).unwrap())
+    fn arena() -> Arc<dyn PoolAllocator> {
+        build_allocator(AllocatorKind::Sys, 1, CostModel::zero())
+    }
+
+    fn batch_of(a: &Arc<dyn PoolAllocator>, sizes: &[usize]) -> (RetiredList, Vec<usize>) {
+        let mut list = RetiredList::new();
+        let mut addrs = Vec::new();
+        for &s in sizes {
+            let p = a.alloc(0, s);
+            addrs.push(p.as_ptr() as usize);
+            // SAFETY: live block of `a`, exclusively ours.
+            unsafe { list.push(Retired::new(p)) };
+        }
+        (list, addrs)
+    }
+
+    fn free_list(a: &Arc<dyn PoolAllocator>, mut list: RetiredList) {
+        while let Some(r) = list.pop() {
+            a.dealloc(0, r.ptr);
+        }
     }
 
     #[test]
-    fn absorb_then_drain_fifo() {
+    fn absorb_then_pop_fifo() {
+        let a = arena();
         let mut buf = FreeBuffer::new();
-        let mut batch = vec![retired(1), retired(2), retired(3)];
+        let (mut batch, addrs) = batch_of(&a, &[64, 64, 64]);
         buf.absorb(&mut batch);
         assert!(batch.is_empty());
         assert_eq!(buf.len(), 3);
-        let first: Vec<usize> = buf.take(2).map(|r| r.addr()).collect();
-        assert_eq!(first, vec![1, 2], "oldest first");
+        let first: Vec<usize> = (0..2).map(|_| buf.pop().unwrap().addr()).collect();
+        assert_eq!(first, addrs[..2], "oldest first");
         assert_eq!(buf.len(), 1);
+        free_list(&a, buf.drain_all());
+        for addr in first {
+            a.dealloc(0, std::ptr::NonNull::new(addr as *mut u8).unwrap());
+        }
     }
 
     #[test]
-    fn take_more_than_available() {
+    fn pop_past_empty_is_none() {
+        let a = arena();
         let mut buf = FreeBuffer::new();
-        buf.push(retired(9));
-        let got: Vec<usize> = buf.take(10).map(|r| r.addr()).collect();
-        assert_eq!(got, vec![9]);
+        let p = a.alloc(0, 64);
+        // SAFETY: live block of `a`, exclusively ours.
+        unsafe { buf.push(Retired::new(p)) };
+        assert_eq!(buf.pop().unwrap().addr(), p.as_ptr() as usize);
+        assert!(buf.pop().is_none());
         assert!(buf.is_empty());
+        a.dealloc(0, p);
     }
 
     #[test]
-    fn take_zero_is_noop() {
+    fn absorb_twice_preserves_arrival_order() {
+        let a = arena();
         let mut buf = FreeBuffer::new();
-        buf.push(retired(1));
-        assert_eq!(buf.take(0).count(), 0);
-        assert_eq!(buf.len(), 1);
+        let (mut first, first_addrs) = batch_of(&a, &[64]);
+        let (mut second, second_addrs) = batch_of(&a, &[64]);
+        buf.absorb(&mut first);
+        buf.absorb(&mut second);
+        assert_eq!(buf.pop().unwrap().addr(), first_addrs[0]);
+        assert_eq!(buf.pop().unwrap().addr(), second_addrs[0]);
+        for addr in [first_addrs[0], second_addrs[0]] {
+            a.dealloc(0, std::ptr::NonNull::new(addr as *mut u8).unwrap());
+        }
     }
 
     mod pool_bins {
-        use super::super::PoolBins;
-        use crate::Retired;
-        use epic_alloc::{build_allocator, AllocatorKind, CostModel, PoolAllocator};
-        use std::sync::Arc;
-
-        fn alloc_batch(a: &Arc<dyn PoolAllocator>, sizes: &[usize]) -> Vec<Retired> {
-            sizes.iter().map(|&s| Retired::new(a.alloc(0, s))).collect()
-        }
-
-        fn free_all(a: &Arc<dyn PoolAllocator>, rs: impl IntoIterator<Item = Retired>) {
-            for r in rs {
-                a.dealloc(0, r.ptr);
-            }
-        }
+        use super::*;
 
         #[test]
         fn absorb_bins_by_class_and_pop_matches() {
-            let a = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+            let a = arena();
             let mut pool = PoolBins::new();
-            let mut batch = alloc_batch(&a, &[64, 240, 64, 100]);
-            let addrs: Vec<usize> = batch.iter().map(Retired::addr).collect();
+            let (mut batch, addrs) = batch_of(&a, &[64, 240, 64, 100]);
             // SAFETY: live blocks from `a`.
             unsafe { pool.absorb(&mut batch) };
             assert!(batch.is_empty());
@@ -225,46 +258,45 @@ mod tests {
             assert_eq!(pool.pop_for(64).unwrap().addr(), addrs[2]);
             assert_eq!(pool.pop_for(64).unwrap().addr(), addrs[0]);
             assert_eq!(pool.len(), 1);
-            free_all(&a, pool.drain_all());
-            free_all(
-                &a,
-                [
-                    hit,
-                    Retired::new(std::ptr::NonNull::new(addrs[2] as *mut u8).unwrap()),
-                    Retired::new(std::ptr::NonNull::new(addrs[0] as *mut u8).unwrap()),
-                ],
-            );
+            free_list(&a, pool.drain_all());
+            for addr in [addrs[1], addrs[2], addrs[0]] {
+                a.dealloc(0, std::ptr::NonNull::new(addr as *mut u8).unwrap());
+            }
         }
 
         #[test]
         fn take_excess_prefers_fullest_bin() {
-            let a = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+            let a = arena();
             let mut pool = PoolBins::new();
-            let mut batch = alloc_batch(&a, &[64, 64, 64, 240]);
+            let (mut batch, _) = batch_of(&a, &[64, 64, 64, 240]);
             // SAFETY: live blocks.
             unsafe { pool.absorb(&mut batch) };
-            let excess = pool.take_excess(2);
+            let mut excess = RetiredList::new();
+            pool.take_excess(2, &mut excess);
             assert_eq!(excess.len(), 2);
             assert_eq!(pool.len(), 2);
             // Both excess blocks came from the (fuller) 64-byte bin.
-            assert!(pool.pop_for(240).is_some(), "240-class survived the bleed");
-            free_all(&a, excess);
-            free_all(&a, pool.drain_all());
+            let survivor = pool.pop_for(240).expect("240-class survived the bleed");
+            a.dealloc(0, survivor.ptr);
+            free_list(&a, excess);
+            free_list(&a, pool.drain_all());
         }
 
         #[test]
         fn drain_all_empties_every_bin() {
-            let a = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+            let a = arena();
             let mut pool = PoolBins::new();
-            let mut batch = alloc_batch(&a, &[16, 64, 512, 2048]);
+            let (mut batch, _) = batch_of(&a, &[16, 64, 512, 2048]);
             // SAFETY: live blocks.
             unsafe { pool.absorb(&mut batch) };
             let all = pool.drain_all();
             assert_eq!(all.len(), 4);
             assert!(pool.is_empty());
             assert!(pool.pop_for(64).is_none());
-            assert_eq!(pool.take_excess(10).len(), 0);
-            free_all(&a, all);
+            let mut none = RetiredList::new();
+            pool.take_excess(10, &mut none);
+            assert!(none.is_empty());
+            free_list(&a, all);
         }
     }
 }

@@ -49,7 +49,7 @@ pub mod smr_stats;
 pub use common::SchemeCommon;
 pub use config::{FreeMode, SmrConfig};
 pub use freebuf::FreeBuffer;
-pub use retired::Retired;
+pub use retired::{Retired, RetiredList};
 pub use smr_stats::SmrSnapshot;
 
 use epic_alloc::{PoolAllocator, Tid};

@@ -14,8 +14,9 @@
 
 use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
+use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Retired, Smr, SmrKind};
+use crate::{Smr, SmrKind};
 
 use epic_alloc::block;
 use epic_alloc::{PoolAllocator, Tid};
@@ -28,7 +29,7 @@ use std::sync::Arc;
 const NONE: u64 = u64::MAX;
 
 struct HeThread {
-    bag: Vec<Retired>,
+    bag: RetiredList,
     retires_since_tick: usize,
 }
 
@@ -55,7 +56,7 @@ impl HeSmr {
                 .into_boxed_slice(),
             k,
             threads: TidSlots::new_with(n, |_| HeThread {
-                bag: Vec::new(),
+                bag: RetiredList::new(),
                 retires_since_tick: 0,
             }),
             common: SchemeCommon::new(alloc, cfg),
@@ -67,27 +68,28 @@ impl HeSmr {
         self.era.load(Ordering::SeqCst)
     }
 
+    /// Reservation snapshot in recycled scratch, in-place bag partition:
+    /// no heap allocation per scan.
     fn scan_and_reclaim(&self, tid: Tid, state: &mut HeThread) {
         self.common.stats.get(tid).on_scan();
         fence(Ordering::SeqCst);
-        let reservations: Vec<u64> = self
-            .slots
-            .iter()
-            .map(|s| s.load(Ordering::Acquire))
-            .filter(|&e| e != NONE)
-            .collect();
-        let mut freeable = Vec::with_capacity(state.bag.len());
-        state.bag.retain(|r| {
-            let reserved = reservations
+        let mut reservations = self.common.scratch(tid, self.slots.len());
+        reservations.extend(
+            self.slots
                 .iter()
-                .any(|&e| e >= r.birth_era && e <= r.retire_era);
-            if reserved {
-                true
-            } else {
-                freeable.push(*r);
-                false
-            }
-        });
+                .map(|s| s.load(Ordering::Acquire))
+                .filter(|&e| e != NONE),
+        );
+        let mut freeable = RetiredList::new();
+        state.bag.partition_into(
+            |r| {
+                reservations
+                    .iter()
+                    .any(|&e| e >= r.birth_era && e <= r.retire_era)
+            },
+            &mut freeable,
+        );
+        self.common.scratch_done(tid, reservations);
         self.common.dispose(tid, &mut freeable);
     }
 }
@@ -137,12 +139,13 @@ impl Smr for HeSmr {
 
     fn retire(&self, tid: Tid, ptr: NonNull<u8>) {
         self.common.stats.get(tid).on_retire(1);
-        // SAFETY: ptr is a live block from this scheme's allocator.
-        let birth = unsafe { block::birth_era(ptr) };
         let retire_era = self.era.load(Ordering::SeqCst);
         // SAFETY: tid-exclusivity contract.
         let state = unsafe { self.threads.get_mut(tid) };
-        state.bag.push(Retired::with_eras(ptr, birth, retire_era));
+        // SAFETY: `ptr` is a live block of this scheme's allocator (retire
+        // contract), exclusively ours; its birth era is already in the
+        // header (stamped by `on_alloc`), so only the retire era is added.
+        unsafe { state.bag.push_retire(ptr, retire_era) };
         state.retires_since_tick += 1;
         if state.retires_since_tick >= self.common.cfg.era_freq {
             state.retires_since_tick = 0;

@@ -12,18 +12,18 @@
 
 use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
+use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Retired, Smr, SmrKind};
+use crate::{Smr, SmrKind};
 
 use epic_alloc::{PoolAllocator, Tid};
 use epic_util::TidSlots;
-use std::collections::HashSet;
 use std::ptr::NonNull;
 use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 struct HpThread {
-    bag: Vec<Retired>,
+    bag: RetiredList,
 }
 
 /// Hazard pointers. See module docs.
@@ -46,33 +46,36 @@ impl HpSmr {
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             k,
-            threads: TidSlots::new_with(n, |_| HpThread { bag: Vec::new() }),
+            threads: TidSlots::new_with(n, |_| HpThread {
+                bag: RetiredList::new(),
+            }),
             common: SchemeCommon::new(alloc, cfg),
         }
     }
 
     /// Scans all hazard slots and frees every bagged object that is not
     /// announced; announced objects stay in the bag for the next scan.
+    /// The hazard snapshot lives in recycled scratch and the bag is
+    /// partitioned in place, so a scan performs no heap allocation.
     fn scan_and_reclaim(&self, tid: Tid, state: &mut HpThread) {
         self.common.stats.get(tid).on_scan();
         // The fence pairs with the SeqCst protect stores: any protect that
         // precedes our scan in the SeqCst order is observed.
         fence(Ordering::SeqCst);
-        let hazards: HashSet<usize> = self
-            .slots
-            .iter()
-            .map(|s| s.load(Ordering::Acquire))
-            .filter(|&p| p != 0)
-            .collect();
-        let mut freeable = Vec::with_capacity(state.bag.len());
-        state.bag.retain(|r| {
-            if hazards.contains(&r.addr()) {
-                true
-            } else {
-                freeable.push(*r);
-                false
-            }
-        });
+        let mut hazards = self.common.scratch(tid, self.slots.len());
+        hazards.extend(
+            self.slots
+                .iter()
+                .map(|s| s.load(Ordering::Acquire) as u64)
+                .filter(|&p| p != 0),
+        );
+        hazards.sort_unstable();
+        let mut freeable = RetiredList::new();
+        state.bag.partition_into(
+            |r| hazards.binary_search(&(r.addr() as u64)).is_ok(),
+            &mut freeable,
+        );
+        self.common.scratch_done(tid, hazards);
         self.common.dispose(tid, &mut freeable);
     }
 }
@@ -118,7 +121,9 @@ impl Smr for HpSmr {
         self.common.stats.get(tid).on_retire(1);
         // SAFETY: tid-exclusivity contract.
         let state = unsafe { self.threads.get_mut(tid) };
-        state.bag.push(Retired::new(ptr));
+        // SAFETY: `ptr` is a live block of this scheme's allocator (retire
+        // contract), exclusively ours from unlink to free.
+        unsafe { state.bag.push_retire(ptr, 0) };
         let threshold = self
             .common
             .cfg

@@ -12,8 +12,9 @@
 
 use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
+use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Retired, Smr, SmrKind};
+use crate::{Smr, SmrKind};
 
 use epic_alloc::block;
 use epic_alloc::{PoolAllocator, Tid};
@@ -30,7 +31,7 @@ struct Reservation {
 }
 
 struct IbrThread {
-    bag: Vec<Retired>,
+    bag: RetiredList,
     retires_since_tick: usize,
 }
 
@@ -58,7 +59,7 @@ impl IbrSmr {
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             threads: TidSlots::new_with(n, |_| IbrThread {
-                bag: Vec::new(),
+                bag: RetiredList::new(),
                 retires_since_tick: 0,
             }),
             common: SchemeCommon::new(alloc, cfg),
@@ -70,28 +71,31 @@ impl IbrSmr {
         self.era.load(Ordering::SeqCst)
     }
 
+    /// Interval snapshot packed `[lo, hi, lo, hi, …]` into recycled
+    /// scratch, in-place bag partition: no heap allocation per scan.
     fn scan_and_reclaim(&self, tid: Tid, state: &mut IbrThread) {
         self.common.stats.get(tid).on_scan();
         fence(Ordering::SeqCst);
-        let intervals: Vec<(u64, u64)> = self
-            .reservations
-            .iter()
-            .map(|r| (r.lo.load(Ordering::Acquire), r.hi.load(Ordering::Acquire)))
-            .filter(|&(lo, _)| lo != NONE)
-            .collect();
-        let mut freeable = Vec::with_capacity(state.bag.len());
-        state.bag.retain(|r| {
-            // Overlap test: [lo,hi] ∩ [birth,retire] ≠ ∅.
-            let reserved = intervals
-                .iter()
-                .any(|&(lo, hi)| lo <= r.retire_era && r.birth_era <= hi);
-            if reserved {
-                true
-            } else {
-                freeable.push(*r);
-                false
+        let mut intervals = self.common.scratch(tid, self.reservations.len() * 2);
+        for res in self.reservations.iter() {
+            let lo = res.lo.load(Ordering::Acquire);
+            let hi = res.hi.load(Ordering::Acquire);
+            if lo != NONE {
+                intervals.push(lo);
+                intervals.push(hi);
             }
-        });
+        }
+        let mut freeable = RetiredList::new();
+        state.bag.partition_into(
+            // Overlap test: [lo,hi] ∩ [birth,retire] ≠ ∅.
+            |r| {
+                intervals
+                    .chunks_exact(2)
+                    .any(|lohi| lohi[0] <= r.retire_era && r.birth_era <= lohi[1])
+            },
+            &mut freeable,
+        );
+        self.common.scratch_done(tid, intervals);
         self.common.dispose(tid, &mut freeable);
     }
 }
@@ -142,12 +146,13 @@ impl Smr for IbrSmr {
 
     fn retire(&self, tid: Tid, ptr: NonNull<u8>) {
         self.common.stats.get(tid).on_retire(1);
-        // SAFETY: live block from this scheme's allocator.
-        let birth = unsafe { block::birth_era(ptr) };
         let retire_era = self.era.load(Ordering::SeqCst);
         // SAFETY: tid-exclusivity contract.
         let state = unsafe { self.threads.get_mut(tid) };
-        state.bag.push(Retired::with_eras(ptr, birth, retire_era));
+        // SAFETY: `ptr` is a live block of this scheme's allocator (retire
+        // contract), exclusively ours; its birth era is already in the
+        // header (stamped by `on_alloc`), so only the retire era is added.
+        unsafe { state.bag.push_retire(ptr, retire_era) };
         state.retires_since_tick += 1;
         if state.retires_since_tick >= self.common.cfg.era_freq {
             state.retires_since_tick = 0;

@@ -24,9 +24,11 @@ pub mod rcu;
 pub mod token;
 pub mod wfe;
 
-/// A tagged limbo bag: retirements plus the epoch they belong to.
+/// A tagged limbo bag: retirements plus the epoch they belong to. The
+/// items are an intrusive [`crate::RetiredList`], so filling, rotating and
+/// disposing of a bag never allocates.
 #[derive(Debug, Default)]
 pub(crate) struct EpochBag {
     pub epoch: u64,
-    pub items: Vec<crate::retired::Retired>,
+    pub items: crate::retired::RetiredList,
 }

@@ -44,13 +44,13 @@
 
 use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
+use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Retired, Smr, SmrKind};
+use crate::{Smr, SmrKind};
 
 use epic_alloc::{PoolAllocator, Tid};
 use epic_timeline::EventKind;
 use epic_util::{now_ns, Backoff, CachePadded, TidSlots};
-use std::collections::HashSet;
 use std::ptr::NonNull;
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -72,8 +72,8 @@ struct NbrShared {
 }
 
 struct NbrThread {
-    current: Vec<Retired>,
-    sealed: Vec<Retired>,
+    current: RetiredList,
+    sealed: RetiredList,
     /// Timestamp of the newest retirement in `sealed`.
     sealed_ns: u64,
     last_seen_request: u64,
@@ -117,8 +117,8 @@ impl NbrSmr {
             k,
             global_seq: AtomicU64::new(0),
             threads: TidSlots::new_with(n, |_| NbrThread {
-                current: Vec::new(),
-                sealed: Vec::new(),
+                current: RetiredList::new(),
+                sealed: RetiredList::new(),
                 sealed_ns: 0,
                 last_seen_request: 0,
                 restarts: 0,
@@ -135,9 +135,11 @@ impl NbrSmr {
         let seal_ns = state.sealed_ns;
 
         // Phase 1: request neutralization (nbr+ skips provably-safe
-        // threads).
+        // threads). The acknowledgment flags live in recycled scratch —
+        // one word per thread — so a reclaim pass allocates nothing.
         let n = self.shared.len();
-        let mut need_ack = vec![false; n];
+        let mut scratch = self.common.scratch(tid, n.max(self.reservations.len()));
+        scratch.resize(n, 0);
         for (t, sh) in self.shared.iter().enumerate() {
             if t == tid {
                 continue;
@@ -152,7 +154,7 @@ impl NbrSmr {
                 continue;
             }
             sh.request.store(seq, Ordering::SeqCst);
-            need_ack[t] = true;
+            scratch[t] = 1;
         }
 
         // Phase 2: handshake. A thread passes when it acked, is immune in
@@ -160,7 +162,7 @@ impl NbrSmr {
         // *published reservations* are honored below.
         let deadline = now_ns() + HANDSHAKE_TIMEOUT_NS;
         for (t, sh) in self.shared.iter().enumerate() {
-            if !need_ack[t] {
+            if scratch[t] == 0 {
                 continue;
             }
             let backoff = Backoff::new();
@@ -174,30 +176,31 @@ impl NbrSmr {
                 }
                 if now_ns() > deadline {
                     // Liveness guard: give up, keep the bag.
+                    self.common.scratch_done(tid, scratch);
                     return false;
                 }
                 backoff.snooze();
             }
         }
 
-        // Phase 3: collect write-phase reservations as hazards and free the
-        // rest of the sealed bag (hazarded objects stay sealed).
+        // Phase 3: collect write-phase reservations as hazards (reusing
+        // the scratch the handshake is done with) and free the rest of the
+        // sealed bag (hazarded objects stay sealed).
         fence(Ordering::SeqCst);
-        let hazards: HashSet<usize> = self
-            .reservations
-            .iter()
-            .map(|r| r.load(Ordering::Acquire))
-            .filter(|&p| p != 0)
-            .collect();
-        let mut freeable = Vec::with_capacity(state.sealed.len());
-        state.sealed.retain(|r| {
-            if hazards.contains(&r.addr()) {
-                true
-            } else {
-                freeable.push(*r);
-                false
-            }
-        });
+        scratch.clear();
+        scratch.extend(
+            self.reservations
+                .iter()
+                .map(|r| r.load(Ordering::Acquire) as u64)
+                .filter(|&p| p != 0),
+        );
+        scratch.sort_unstable();
+        let mut freeable = RetiredList::new();
+        state.sealed.partition_into(
+            |r| scratch.binary_search(&(r.addr() as u64)).is_ok(),
+            &mut freeable,
+        );
+        self.common.scratch_done(tid, scratch);
         self.common.dispose(tid, &mut freeable);
         self.common.record_epoch_advance(tid, seq);
         true
@@ -297,15 +300,17 @@ impl Smr for NbrSmr {
         self.common.stats.get(tid).on_retire(1);
         // SAFETY: tid-exclusivity contract.
         let state = unsafe { self.threads.get_mut(tid) };
-        state.current.push(Retired::new(ptr));
+        // SAFETY: `ptr` is a live block of this scheme's allocator (retire
+        // contract), exclusively ours from unlink to free.
+        unsafe { state.current.push_retire(ptr, 0) };
         if state.current.len() >= self.common.cfg.bag_cap {
             if !state.sealed.is_empty() && !self.neutralize_and_reclaim(tid, state) {
                 // Handshake timed out; retry at the next retirement.
                 return;
             }
             // Seal the current generation (hazard survivors, if any, ride
-            // along into the new sealed bag).
-            let mut cur = std::mem::take(&mut state.current);
+            // along into the new sealed bag) — an O(1) splice.
+            let mut cur = state.current.take();
             state.sealed.append(&mut cur);
             state.sealed_ns = now_ns();
         }

@@ -11,7 +11,7 @@ use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
 use crate::schemes::EpochBag;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Retired, Smr, SmrKind};
+use crate::{Smr, SmrKind};
 
 use epic_alloc::{PoolAllocator, Tid};
 use epic_util::{CachePadded, TidSlots};
@@ -147,7 +147,9 @@ impl Smr for RcuSmr {
             }
             bag.epoch = tag;
         }
-        bag.items.push(Retired::new(ptr));
+        // SAFETY: `ptr` is a live block of this scheme's allocator (retire
+        // contract), exclusively ours from unlink to free.
+        unsafe { bag.items.push_retire(ptr, 0) };
         if bag.items.len() >= self.common.cfg.bag_cap {
             self.try_advance(tid, self.global_epoch.load(Ordering::SeqCst));
         }

@@ -26,8 +26,9 @@
 
 use crate::common::SchemeCommon;
 use crate::config::{FreeMode, SmrConfig};
+use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Retired, Smr, SmrKind};
+use crate::{Smr, SmrKind};
 
 use epic_alloc::{PoolAllocator, Tid};
 use epic_timeline::EventKind;
@@ -49,8 +50,8 @@ pub enum TokenVariant {
 }
 
 struct TokenThread {
-    current: Vec<Retired>,
-    previous: Vec<Retired>,
+    current: RetiredList,
+    previous: RetiredList,
     consumed: u64,
     epochs_entered: u64,
 }
@@ -84,8 +85,8 @@ impl TokenSmr {
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             threads: TidSlots::new_with(n, |_| TokenThread {
-                current: Vec::new(),
-                previous: Vec::new(),
+                current: RetiredList::new(),
+                previous: RetiredList::new(),
                 consumed: 0,
                 epochs_entered: 0,
             }),
@@ -183,9 +184,11 @@ impl TokenSmr {
         let t0 = now_ns();
         let counters = self.common.stats.get(tid);
         counters.on_batch();
-        for (i, r) in state.previous.drain(..).enumerate() {
+        let mut freed = 0usize;
+        while let Some(r) = state.previous.pop() {
             self.common.alloc.dealloc(tid, r.ptr);
-            if (i + 1) % check_every == 0 && self.holds_token(tid, state.consumed) {
+            freed += 1;
+            if freed.is_multiple_of(check_every) && self.holds_token(tid, state.consumed) {
                 // Forward without swapping: we hold no data-structure
                 // pointers (we are between operations), so forwarding is
                 // safe and keeps the ring moving.
@@ -243,7 +246,9 @@ impl Smr for TokenSmr {
         self.common.stats.get(tid).on_retire(1);
         // SAFETY: tid-exclusivity contract.
         let state = unsafe { self.threads.get_mut(tid) };
-        state.current.push(Retired::new(ptr));
+        // SAFETY: `ptr` is a live block of this scheme's allocator (retire
+        // contract), exclusively ours from unlink to free.
+        unsafe { state.current.push_retire(ptr, 0) };
     }
 
     fn detach(&self, tid: Tid) {

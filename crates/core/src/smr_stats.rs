@@ -7,6 +7,12 @@ use epic_util::{CachePadded, TidSlots};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// 1-in-N sampling period for timing the amortized drain's fast path —
+/// the allocator's own period, re-exported so the two sampled `free_ns`
+/// figures in a trial can never drift apart: rare long operations (batch
+/// frees) are timed exactly, per-op work is sampled and extrapolated.
+pub const DRAIN_SAMPLE_PERIOD: u64 = epic_alloc::stats::SAMPLE_PERIOD;
+
 /// Per-thread scheme counters. `Cell`-based: the owning thread writes,
 /// reporting reads are racy-but-monotone (same pattern as the allocator's
 /// counters).
@@ -27,12 +33,19 @@ pub struct ThreadSmrCounters {
     /// Objects served from the thread's object pool instead of the
     /// allocator ([`crate::FreeMode::Pooled`]).
     pub pool_hits: Cell<u64>,
+    /// Heap allocations performed by the retire pipeline itself (scratch
+    /// segment-pool misses). The zero-allocation design keeps this at 0 in
+    /// steady state; anything else is measurement overhead attributed to
+    /// the scheme under test.
+    pub retire_path_allocs: Cell<u64>,
     /// Unreclaimed garbage currently attributed to this thread (limbo
     /// bags and the freeable list). Mirrored into `garbage_pub` for
     /// cross-thread sampling.
     pub garbage: Cell<u64>,
     /// Published copy of `garbage` (relaxed; owner-only writer).
     pub garbage_pub: AtomicU64,
+    /// Rolling tick for [`DRAIN_SAMPLE_PERIOD`] drain-timing sampling.
+    sample_tick_drain: Cell<u64>,
 }
 
 // SAFETY: owner-writes / racy-snapshot-reads, identical contract to
@@ -68,10 +81,25 @@ impl ThreadSmrCounters {
         self.garbage_pub.store(g, Ordering::Relaxed);
     }
 
-    /// Adds free time.
+    /// Adds free time (exact — batch frees and teardown drains).
     #[inline]
     pub fn add_free_ns(&self, ns: u64) {
         Self::bump(&self.free_ns, ns);
+    }
+
+    /// Advances the drain sample tick; true when this drain should be
+    /// timed (1-in-[`DRAIN_SAMPLE_PERIOD`]).
+    #[inline]
+    pub fn on_drain_tick(&self) -> bool {
+        let t = self.sample_tick_drain.get().wrapping_add(1);
+        self.sample_tick_drain.set(t);
+        t.is_multiple_of(DRAIN_SAMPLE_PERIOD)
+    }
+
+    /// Adds a sampled drain duration, extrapolated by the period.
+    #[inline]
+    pub fn add_sampled_free_ns(&self, ns: u64) {
+        Self::bump(&self.free_ns, ns * DRAIN_SAMPLE_PERIOD);
     }
 
     /// Records a processed batch.
@@ -90,6 +118,12 @@ impl ThreadSmrCounters {
     #[inline]
     pub fn on_scan(&self) {
         Self::bump(&self.scans, 1);
+    }
+
+    /// Records a heap allocation on the retire path (scratch-pool miss).
+    #[inline]
+    pub fn on_retire_path_alloc(&self, n: u64) {
+        Self::bump(&self.retire_path_allocs, n);
     }
 
     /// Records one object recycled from the pool: it leaves the garbage
@@ -111,6 +145,7 @@ impl ThreadSmrCounters {
         self.restarts.set(0);
         self.scans.set(0);
         self.pool_hits.set(0);
+        self.retire_path_allocs.set(0);
     }
 }
 
@@ -137,6 +172,9 @@ pub struct SmrSnapshot {
     pub epochs: u64,
     /// Objects recycled straight from the pool ([`crate::FreeMode::Pooled`]).
     pub pool_hits: u64,
+    /// Heap allocations charged to the retire pipeline itself (0 in the
+    /// steady state of the zero-allocation design).
+    pub retire_path_allocs: u64,
     /// Median individual `free`-call latency (ns, bucket resolution; 0 when
     /// per-call recording was off). Fig. 3 / Appendix F material.
     pub free_p50_ns: u64,
@@ -252,6 +290,7 @@ impl SmrStats {
             s.restarts += c.restarts.get();
             s.scans += c.scans.get();
             s.pool_hits += c.pool_hits.get();
+            s.retire_path_allocs += c.retire_path_allocs.get();
             s.garbage += c.garbage_pub.load(Ordering::Relaxed);
         }
         let hist = self.free_hist();

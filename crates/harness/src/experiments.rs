@@ -192,7 +192,15 @@ pub fn table2_af_counters() {
     let mut t = Table::new(
         "table2_af_counters",
         "Table 2: amortized vs batch free (ABtree, DEBRA, Je, max threads)",
-        &["approach", "ops/s", "freed", "% free", "% flush", "% lock"],
+        &[
+            "approach",
+            "ops/s",
+            "freed",
+            "% free",
+            "% flush",
+            "% lock",
+            "pipe allocs",
+        ],
     );
     for (label, amortize) in [("JE batch", false), ("JE amort.", true)] {
         let mut cfg = WorkloadCfg::new(TreeKind::Ab, SmrKind::Debra, n);
@@ -207,6 +215,9 @@ pub fn table2_af_counters() {
             format!("{:.1}", r.pct_free(n)),
             format!("{:.1}", r.pct_flush(n)),
             format!("{:.1}", r.pct_lock(n)),
+            // Heap allocations the retire pipeline performed on itself —
+            // measurement overhead, 0 in steady state by design.
+            fmt_count(r.smr.retire_path_allocs),
         ]);
     }
     t.emit();

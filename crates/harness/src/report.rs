@@ -5,12 +5,20 @@
 //! [`results_dir`].
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-/// The artifact output directory (`EPIC_RESULTS`, default `results/`).
+/// The artifact output directory: `EPIC_RESULTS` if set, else `results/`
+/// at the workspace root. Anchoring at the workspace (not the CWD)
+/// matters because cargo runs bench targets with the *package* directory
+/// as CWD — a relative default would scatter artifacts into
+/// `crates/bench/results/` while `epic-run` writes to the root.
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("EPIC_RESULTS").unwrap_or_else(|_| "results".to_string());
-    let path = PathBuf::from(dir);
+    let path = match std::env::var("EPIC_RESULTS") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("results"),
+    };
     let _ = std::fs::create_dir_all(&path);
     path
 }

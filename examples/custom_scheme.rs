@@ -16,7 +16,9 @@
 
 use epochs_too_epic::alloc::{build_allocator, AllocatorKind, CostModel, PoolAllocator, Tid};
 use epochs_too_epic::ds::{build_tree, TreeKind};
-use epochs_too_epic::smr::{FreeMode, Retired, SchemeCommon, Smr, SmrConfig, SmrKind, SmrSnapshot};
+use epochs_too_epic::smr::{
+    FreeMode, RetiredList, SchemeCommon, Smr, SmrConfig, SmrKind, SmrSnapshot,
+};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -25,7 +27,9 @@ use std::sync::{Arc, Mutex};
 const QUIESCENT: u64 = u64::MAX;
 
 /// One thread's limbo bags: (epoch tag, objects retired under that tag).
-type LimboBags = Mutex<Vec<(u64, Vec<Retired>)>>;
+/// The per-tag lists are intrusive — retiring into them and splicing them
+/// out never allocates; only the tag spine is a Vec.
+type LimboBags = Mutex<Vec<(u64, RetiredList)>>;
 
 struct MiniEbr {
     common: SchemeCommon,
@@ -64,7 +68,7 @@ impl MiniEbr {
         self.common.stats.get(tid).on_scan();
         self.common.record_epoch_advance(tid, e + 1);
         let mut bag = self.bags[tid].lock().unwrap();
-        let mut freeable: Vec<Retired> = Vec::new();
+        let mut freeable = RetiredList::new();
         bag.retain_mut(|(tag, objs)| {
             // Safe once every thread announced ≥ tag + 2 (epoch is only
             // e + 1 now, so require tag ≤ e - 1... conservatively e - 2).
@@ -116,10 +120,16 @@ impl Smr for MiniEbr {
         self.common.stats.get(tid).on_retire(1);
         let tag = self.epoch.load(Ordering::SeqCst);
         let mut bag = self.bags[tid].lock().unwrap();
-        match bag.last_mut() {
-            Some((t, objs)) if *t == tag => objs.push(Retired::new(ptr)),
-            _ => bag.push((tag, vec![Retired::new(ptr)])),
-        }
+        let objs = match bag.last_mut() {
+            Some((t, objs)) if *t == tag => objs,
+            _ => {
+                bag.push((tag, RetiredList::new()));
+                &mut bag.last_mut().expect("just pushed").1
+            }
+        };
+        // SAFETY: `ptr` is a live block of this scheme's allocator (retire
+        // contract), exclusively ours from unlink to free.
+        unsafe { objs.push_retire(ptr, 0) };
         let total: usize = bag.iter().map(|(_, o)| o.len()).sum();
         drop(bag);
         if total >= self.common.cfg.bag_cap {
@@ -134,7 +144,10 @@ impl Smr for MiniEbr {
     fn quiesce_and_drain(&self) {
         for tid in 0..self.common.n_threads() {
             let mut bag = self.bags[tid].lock().unwrap();
-            let mut all: Vec<Retired> = bag.drain(..).flat_map(|(_, objs)| objs).collect();
+            let mut all = RetiredList::new();
+            for (_, mut objs) in bag.drain(..) {
+                all.append(&mut objs);
+            }
             drop(bag);
             self.common.free_batch_now(tid, &mut all);
             self.common.drain_freebuf(tid);

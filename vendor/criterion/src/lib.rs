@@ -6,10 +6,14 @@
 //! The build container has no network access to crates.io, so the workspace
 //! `criterion` dependency resolves to this path crate. It is not a toy: each
 //! benchmark is warmed up, then timed over enough iterations to fill a
-//! measurement window, and the median/mean/min per-iteration times are
-//! printed in criterion's familiar `time: [low mid high]` shape. There are
-//! no HTML reports, statistics beyond that, or CLI filters. Swap in the real
-//! crate via the root manifest when building online.
+//! measurement window, and per-iteration times are printed in criterion's
+//! familiar `time: [low mid high]` shape (mid is the p50), followed by
+//! variance-aware statistics — the p95 quantile and the median absolute
+//! deviation (MAD), a robust spread estimate that a handful of
+//! descheduling outliers cannot inflate the way a standard deviation can.
+//! A perf claim should cite p50 ± MAD, not min/max. There are no HTML
+//! reports or CLI filters. Swap in the real crate via the root manifest
+//! when building online.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -195,13 +199,47 @@ fn run_one(label: &str, window: Duration, f: &mut dyn FnMut(&mut Bencher)) {
     let min = samples.first().copied().unwrap_or(0.0);
     let median = samples[samples.len() / 2];
     let max = samples.last().copied().unwrap_or(0.0);
+    let p95 = quantile_sorted(&samples, 0.95);
+    let mad = median_abs_deviation(&samples, median);
+    // The middle of the time triple IS the p50; only p95 and the MAD add
+    // information beyond criterion's familiar [low mid high] shape.
     println!(
-        "{label:<48} time: [{} {} {}]  ({} samples x {batch} iters)",
+        "{label:<48} time: [{} {} {}]  p95 {} ±{} MAD  ({} samples x {batch} iters)",
         fmt_ns(min),
         fmt_ns(median),
         fmt_ns(max),
+        fmt_ns(p95),
+        fmt_ns(mad),
         samples.len(),
     );
+}
+
+/// Linear-interpolated quantile of an ascending-sorted, non-empty-or-zero
+/// sample set.
+fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+/// Median absolute deviation around `center`: the robust spread estimate.
+/// Deschedules and frequency transitions produce heavy right tails that
+/// blow up a standard deviation; the MAD ignores them.
+fn median_abs_deviation(samples: &[f64], center: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut devs: Vec<f64> = samples.iter().map(|s| (s - center).abs()).collect();
+    devs.sort_by(|a, b| a.total_cmp(b));
+    devs[devs.len() / 2]
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -255,5 +293,31 @@ mod tests {
             b.iter(|| black_box(x * 2))
         });
         g.finish();
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 4.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 2.5);
+        assert!((quantile_sorted(&sorted, 0.95) - 3.85).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&[], 0.5), 0.0);
+        assert_eq!(quantile_sorted(&[7.0], 0.95), 7.0);
+    }
+
+    #[test]
+    fn mad_is_outlier_robust() {
+        // 9 tight samples and one huge deschedule spike.
+        let mut samples = vec![10.0f64; 9];
+        samples.push(10_000.0);
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let mad = median_abs_deviation(&samples, median);
+        assert_eq!(mad, 0.0, "one spike in ten must not move the MAD");
+        assert_eq!(median_abs_deviation(&[], 0.0), 0.0);
+        // Symmetric spread: MAD equals the typical deviation.
+        let spread = [8.0, 9.0, 10.0, 11.0, 12.0];
+        assert_eq!(median_abs_deviation(&spread, 10.0), 1.0);
     }
 }
