@@ -1,19 +1,28 @@
-//! CLI entry point: run paper experiments by id.
+//! CLI entry point: run paper experiments by id, or check them against
+//! the paper-shape oracles.
 //!
 //! ```text
 //! epic-run list              # show all experiment ids
 //! epic-run fig11a_experiment1
 //! epic-run all               # the full evaluation
-//! EPIC_MILLIS=5000 EPIC_TRIALS=3 epic-run fig1_scaling   # paper-scale
+//! epic-run check             # run everything + evaluate every oracle
+//! epic-run check table3_allocators fig11b_experiment2
+//! EPIC_MILLIS=5000 EPIC_TRIALS=3 epic-run check all      # paper-scale
 //! ```
+//!
+//! `check` prints a PASS/FAIL/ADVISORY verdict table, writes
+//! `results/SHAPES.json`, and exits non-zero iff a *strict* assertion
+//! failed (advisory misses are reported but never fatal — see
+//! DESIGN.md §6).
 
 use epic_harness::experiments::{all_experiments, run_by_name};
+use epic_harness::oracle::{evaluate, oracle_for, render_verdict_table, write_shapes_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         None | Some("list") => {
-            println!("experiments (pass an id, or 'all'):");
+            println!("experiments (pass an id, 'all', or 'check [id...|all]'):");
             for (id, _) in all_experiments() {
                 println!("  {id}");
             }
@@ -24,11 +33,66 @@ fn main() {
                 f();
             }
         }
+        Some("check") => {
+            let rest: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+            std::process::exit(run_check(&rest));
+        }
         Some(name) => {
-            if !run_by_name(name) {
+            if run_by_name(name).is_none() {
                 eprintln!("unknown experiment '{name}'; try 'list'");
                 std::process::exit(2);
             }
         }
     }
+}
+
+/// Runs the selected experiments, evaluates their oracles, prints the
+/// verdict table, writes `SHAPES.json`. Returns the process exit code:
+/// 0 (all strict assertions hold), 1 (strict failure), 2 (bad id).
+fn run_check(ids: &[&str]) -> i32 {
+    let registry = all_experiments();
+    let selected: Vec<(&str, epic_harness::experiments::ExperimentFn)> =
+        if ids.is_empty() || ids.contains(&"all") {
+            registry
+        } else {
+            let mut picked = Vec::new();
+            for want in ids {
+                match registry.iter().find(|(id, _)| id == want) {
+                    Some(&(id, f)) => picked.push((id, f)),
+                    None => {
+                        eprintln!("unknown experiment '{want}'; try 'list'");
+                        return 2;
+                    }
+                }
+            }
+            picked
+        };
+
+    let mut runs = Vec::new();
+    for (id, f) in selected {
+        println!("\n##### check {id} #####");
+        let oracle =
+            oracle_for(id).unwrap_or_else(|| panic!("experiment '{id}' has no registered oracle"));
+        let result = f();
+        let report = evaluate(&oracle, &result);
+        for o in &report.outcomes {
+            let mark = if o.passed { "ok  " } else { "MISS" };
+            println!("  [{mark}] ({}) {} — {}", o.tier.name(), o.label, o.detail);
+        }
+        runs.push((report, result));
+    }
+
+    let reports: Vec<_> = runs.iter().map(|(r, _)| r.clone()).collect();
+    println!("\n{}", render_verdict_table(&reports));
+    let path = write_shapes_json(&runs);
+    println!("wrote {}", path.display());
+
+    let strict_failures: usize = reports.iter().map(|r| r.strict_failures()).sum();
+    let advisory_failures: usize = reports.iter().map(|r| r.advisory_failures()).sum();
+    println!(
+        "check: {} experiments, {strict_failures} strict failures, {advisory_failures} advisory \
+         misses",
+        reports.len()
+    );
+    i32::from(strict_failures > 0)
 }

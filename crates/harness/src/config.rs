@@ -50,6 +50,12 @@ pub struct WorkloadCfg {
     /// operation for `(stall_every_ms, stall_for_ms)` — the delayed-thread
     /// scenario EBR is famously sensitive to (§3.1's citation of \[35,37\]).
     pub stall: Option<(u64, u64)>,
+    /// Fixed per-thread operation budget. When set, each worker performs
+    /// exactly this many operations (rounded up to the 64-op inner-loop
+    /// granularity) instead of running for `millis` — the time slicer is
+    /// bypassed entirely, so a single-threaded trial with a fixed seed is
+    /// bit-for-bit reproducible (the determinism the oracle CI relies on).
+    pub op_budget: Option<u64>,
 }
 
 impl WorkloadCfg {
@@ -75,7 +81,15 @@ impl WorkloadCfg {
             tcache_cap: None,
             update_ratio: 1.0,
             stall: None,
+            op_budget: None,
         }
+    }
+
+    /// Runs a fixed number of operations per thread instead of a timed
+    /// slice (see [`WorkloadCfg::op_budget`]).
+    pub fn with_op_budget(mut self, ops: u64) -> Self {
+        self.op_budget = Some(ops);
+        self
     }
 
     /// Switches to amortized freeing. The drain is coupled to

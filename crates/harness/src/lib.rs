@@ -27,9 +27,10 @@
 
 pub mod config;
 pub mod experiments;
+pub mod oracle;
 pub mod report;
 pub mod workload;
 
 pub use config::{ExperimentScale, WorkloadCfg};
-pub use report::{results_dir, Table};
+pub use report::{results_dir, ExperimentResult, Table};
 pub use workload::{run_trial, run_trials, TrialResult, TrialSummary};

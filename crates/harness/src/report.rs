@@ -1,9 +1,13 @@
-//! Table + artifact output.
+//! Table + artifact output, and the structured [`ExperimentResult`] every
+//! experiment returns.
 //!
 //! Every experiment prints an aligned table (the rows/series of the
-//! corresponding paper table/figure) and writes CSV/SVG artifacts under
-//! [`results_dir`].
+//! corresponding paper table/figure), writes CSV/SVG artifacts under
+//! [`results_dir`], **and** records named scalar metrics + named series
+//! into an [`ExperimentResult`] — the machine-readable shape the oracle
+//! layer (`crate::oracle`) asserts against.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -21,6 +25,132 @@ pub fn results_dir() -> PathBuf {
     };
     let _ = std::fs::create_dir_all(&path);
     path
+}
+
+/// The structured outcome of one experiment: named scalar metrics and
+/// named series, recorded alongside (not instead of) the human-readable
+/// prints. Metric names are stable slash-separated keys
+/// (`"mops/je/af"`, `"garbage/batch/peaks"`); series hold y values in
+/// presentation order (thread sweeps, epoch time, ...).
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentResult {
+    /// The experiment id (matches the registry).
+    pub id: String,
+    metrics: BTreeMap<String, f64>,
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl ExperimentResult {
+    /// An empty result for `id`.
+    pub fn new(id: &str) -> Self {
+        ExperimentResult {
+            id: id.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Records (or overwrites) a named scalar metric.
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.insert(name.into(), value);
+    }
+
+    /// Appends one value to a named series (created on first push).
+    pub fn push(&mut self, series: impl Into<String>, value: f64) {
+        self.series.entry(series.into()).or_default().push(value);
+    }
+
+    /// Replaces a named series wholesale.
+    pub fn set_series(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        self.series.insert(name.into(), values);
+    }
+
+    /// Looks up a scalar metric.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).copied()
+    }
+
+    /// Looks up a series.
+    pub fn get_series(&self, name: &str) -> Option<&[f64]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// All metrics, sorted by name.
+    pub fn metrics(&self) -> &BTreeMap<String, f64> {
+        &self.metrics
+    }
+
+    /// All series, sorted by name.
+    pub fn series(&self) -> &BTreeMap<String, Vec<f64>> {
+        &self.series
+    }
+
+    /// The result as a JSON object (`NaN`/infinite values become `null`,
+    /// keeping the output strictly parseable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n      \"id\": ");
+        push_json_str(&mut out, &self.id);
+        out.push_str(",\n      \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        ");
+            push_json_str(&mut out, k);
+            out.push_str(": ");
+            out.push_str(&json_num(*v));
+        }
+        out.push_str("\n      },\n      \"series\": {");
+        for (i, (k, vs)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n        ");
+            push_json_str(&mut out, k);
+            out.push_str(": [");
+            for (j, v) in vs.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_num(*v));
+            }
+            out.push(']');
+        }
+        out.push_str("\n      }\n    }");
+        out
+    }
+}
+
+/// Formats an `f64` as a JSON number (`null` for NaN/±inf).
+pub fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        // Round-trippable without scientific notation surprises.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Appends a JSON string literal (quotes + escapes).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A simple aligned table with CSV export.
@@ -93,6 +223,16 @@ impl Table {
         out
     }
 
+    /// [`emit`](Self::emit), plus records the table's shape into a
+    /// structured result: `rows/<table id>` (row count) and
+    /// `cols/<table id>` (column count). Oracles use these as noise-free
+    /// completeness checks — "the experiment produced its full grid".
+    pub fn emit_into(&self, result: &mut ExperimentResult) {
+        self.emit();
+        result.metric(format!("rows/{}", self.id), self.rows.len() as f64);
+        result.metric(format!("cols/{}", self.id), self.headers.len() as f64);
+    }
+
     /// Prints to stdout and writes `<results>/<id>.csv`.
     pub fn emit(&self) {
         println!("{}", self.render());
@@ -131,6 +271,14 @@ pub fn fmt_count(n: u64) -> String {
     }
 }
 
+/// Serializes tests that mutate the `EPIC_RESULTS` process environment
+/// (report + oracle artifact tests share one process).
+#[cfg(test)]
+pub(crate) fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +311,88 @@ mod tests {
         assert_eq!(fmt_count(114_000_000), "114M");
         assert_eq!(fmt_count(32_768), "33K");
         assert_eq!(fmt_count(7), "7");
+    }
+
+    /// Golden snapshot of [`Table::render`]: pins the exact alignment,
+    /// separator width, and header layout so oracle-driven refactors
+    /// can't silently change the human-readable reports.
+    #[test]
+    fn table_render_golden() {
+        let mut t = Table::new("tg", "golden", &["name", "Mops/s"]);
+        t.row(vec!["debra".into(), "43.4M".into()]);
+        t.row(vec!["token_af".into(), "111.3M".into()]);
+        let expected = "== tg — golden\n\
+                        \x20   name  Mops/s\n\
+                        ----------------\n\
+                        \x20  debra   43.4M\n\
+                        token_af  111.3M\n";
+        assert_eq!(t.render(), expected);
+    }
+
+    /// Pins `fmt_mops`/`fmt_count` edge cases: zero, sub-1.0, the ≥1e9
+    /// band (stays in `M`, no `G` unit), and NaN (formats as literal
+    /// `NaN` — never panics, never produces a unit suffix).
+    #[test]
+    fn formatting_edge_cases() {
+        assert_eq!(fmt_mops(0.0), "0");
+        assert_eq!(fmt_mops(0.4), "0");
+        assert_eq!(fmt_mops(999.4), "999");
+        assert_eq!(fmt_mops(1_000.0), "1.0K");
+        assert_eq!(fmt_mops(2.5e9), "2500.0M");
+        assert_eq!(fmt_mops(f64::NAN), "NaN");
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1_000), "1K");
+        assert_eq!(fmt_count(1_500_000_000), "1500M");
+    }
+
+    #[test]
+    fn experiment_result_metrics_and_series() {
+        let mut r = ExperimentResult::new("demo");
+        r.metric("mops/af", 4.25);
+        r.push("ratios", 1.5);
+        r.push("ratios", 2.5);
+        assert_eq!(r.get("mops/af"), Some(4.25));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.get_series("ratios"), Some(&[1.5, 2.5][..]));
+        assert_eq!(r.get_series("missing"), None);
+        r.set_series("ratios", vec![9.0]);
+        assert_eq!(r.get_series("ratios"), Some(&[9.0][..]));
+        // Overwrite semantics for metrics.
+        r.metric("mops/af", 5.0);
+        assert_eq!(r.get("mops/af"), Some(5.0));
+    }
+
+    #[test]
+    fn experiment_result_json_handles_nan_and_escapes() {
+        let mut r = ExperimentResult::new("j\"id");
+        r.metric("ok", 2.0);
+        r.metric("bad", f64::NAN);
+        r.push("s", 1.0);
+        r.push("s", f64::INFINITY);
+        let json = r.to_json();
+        assert!(json.contains("\"j\\\"id\""), "id must be escaped: {json}");
+        assert!(json.contains("\"ok\": 2.0"));
+        assert!(json.contains("\"bad\": null"));
+        assert!(json.contains("[1.0, null]"));
+        assert!(!json.contains("NaN"));
+        assert!(!json.contains("inf"));
+    }
+
+    #[test]
+    fn emit_into_records_grid_shape() {
+        let _guard = super::env_lock();
+        let dir = std::env::temp_dir().join("epic_report_test");
+        std::env::set_var("EPIC_RESULTS", &dir);
+        let mut t = Table::new("grid_test", "demo", &["a", "b", "c"]);
+        t.row(vec!["1".into(), "2".into(), "3".into()]);
+        t.row(vec!["4".into(), "5".into(), "6".into()]);
+        let mut r = ExperimentResult::new("grid_test");
+        t.emit_into(&mut r);
+        std::env::remove_var("EPIC_RESULTS");
+        assert_eq!(r.get("rows/grid_test"), Some(2.0));
+        assert_eq!(r.get("cols/grid_test"), Some(3.0));
+        let csv = std::fs::read_to_string(dir.join("grid_test.csv")).expect("csv written");
+        assert_eq!(csv, "a,b,c\n1,2,3\n4,5,6\n");
     }
 }

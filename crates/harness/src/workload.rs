@@ -6,7 +6,7 @@ use epic_alloc::{build_allocator_with, AllocSnapshot};
 use epic_ds::{build_tree, ConcurrentMap};
 use epic_smr::{build_smr, SmrConfig, SmrSnapshot};
 use epic_timeline::{Recorder, Series};
-use epic_util::stats::OnlineStats;
+use epic_util::stats::SampleStats;
 use epic_util::{Clock, XorShift64};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -111,6 +111,7 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
             let key_range = cfg.key_range;
             let update_ratio = cfg.update_ratio;
             let stall = cfg.stall;
+            let op_budget = cfg.op_budget;
             scope.spawn(move || {
                 let mut rng = XorShift64::new((tid as u64 + 1) * 0x9E37_79B9 + 12345);
                 let mut ops = 0u64;
@@ -145,13 +146,19 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
                         }
                         ops += 1;
                     }
+                    if op_budget.is_some_and(|budget| ops >= budget) {
+                        break;
+                    }
                 }
                 tree.smr().detach(tid);
                 total_ops.fetch_add(ops, Ordering::Relaxed);
             });
         }
-        thread::sleep(Duration::from_millis(cfg.millis));
-        stop.store(true, Ordering::Relaxed);
+        // Budgeted trials stop themselves; timed trials need the slicer.
+        if cfg.op_budget.is_none() {
+            thread::sleep(Duration::from_millis(cfg.millis));
+            stop.store(true, Ordering::Relaxed);
+        }
     });
     let wall_ns = clock.elapsed_ns();
 
@@ -205,19 +212,28 @@ pub struct TrialSummary {
     pub scheme: String,
     /// Thread count.
     pub threads: usize,
-    /// Throughput statistics across trials (ops/s).
-    pub throughput: OnlineStats,
+    /// Throughput statistics across trials (ops/s): mean/min/max plus
+    /// percentiles and a 95% CI half-width for noise-aware oracles.
+    pub throughput: SampleStats,
     /// Peak memory statistics (MiB).
-    pub peak_mib: OnlineStats,
+    pub peak_mib: SampleStats,
     /// The last trial's full result (for counter-style columns).
     pub last: TrialResult,
+}
+
+impl TrialSummary {
+    /// Relative run-to-run noise on throughput (`ci95_halfwidth / mean`,
+    /// 0 for single-trial runs). Oracles widen tolerances by this.
+    pub fn throughput_rel_ci95(&self) -> f64 {
+        self.throughput.rel_ci95()
+    }
 }
 
 /// Runs `trials` trials of `cfg` and aggregates.
 pub fn run_trials(cfg: &WorkloadCfg, trials: usize) -> TrialSummary {
     assert!(trials >= 1);
-    let mut throughput = OnlineStats::new();
-    let mut peak = OnlineStats::new();
+    let mut throughput = SampleStats::new();
+    let mut peak = SampleStats::new();
     let mut last = None;
     for _ in 0..trials {
         let r = run_trial(cfg);
@@ -291,6 +307,53 @@ mod tests {
         assert!(s.throughput.mean() > 0.0);
         assert!(s.peak_mib.mean() > 0.0);
         assert_eq!(s.threads, 2);
+    }
+
+    #[test]
+    fn summary_exposes_noise_stats() {
+        let s = run_trials(&quick(TreeKind::Ab, SmrKind::Debra), 2);
+        assert_eq!(s.throughput.samples().len(), 2);
+        // Two trials => a CI half-width exists (possibly 0 if identical).
+        assert!(s.throughput.ci95_halfwidth() >= 0.0);
+        assert!(s.throughput_rel_ci95() >= 0.0);
+        assert!(s.throughput.median() > 0.0);
+    }
+
+    #[test]
+    fn op_budget_stops_at_budget() {
+        let cfg = quick(TreeKind::Ab, SmrKind::Debra).with_op_budget(1024);
+        let r = run_trial(&cfg);
+        // Budget is enforced at 64-op granularity per thread.
+        assert_eq!(r.ops, 1024 * cfg.threads as u64);
+    }
+
+    /// Two budgeted single-threaded trials with the same seed must agree
+    /// counter-for-counter, so oracle CI verdicts are reproducible rather
+    /// than time-sliced flaky.
+    #[test]
+    fn budgeted_single_thread_trial_is_deterministic() {
+        let mk = || {
+            let mut cfg = WorkloadCfg::new(TreeKind::Ab, SmrKind::Debra, 1).with_op_budget(4096);
+            cfg.key_range = 512;
+            cfg.bag_cap = 64;
+            cfg
+        };
+        let a = run_trial(&mk());
+        let b = run_trial(&mk());
+        assert_eq!(a.ops, b.ops, "op counts diverged");
+        assert_eq!(a.smr.retired, b.smr.retired, "retire counters diverged");
+        assert_eq!(a.smr.freed, b.smr.freed, "free counters diverged");
+        assert_eq!(a.smr.batches, b.smr.batches, "batch counts diverged");
+        assert_eq!(a.smr.epochs, b.smr.epochs, "epoch counts diverged");
+        assert_eq!(a.smr.garbage, b.smr.garbage, "garbage gauges diverged");
+        assert_eq!(
+            a.alloc.totals.allocs, b.alloc.totals.allocs,
+            "allocator alloc counters diverged"
+        );
+        assert_eq!(
+            a.alloc.totals.deallocs, b.alloc.totals.deallocs,
+            "allocator dealloc counters diverged"
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
-//! Smoke tests keeping the experiment registry and the `epic-run` CLI in
-//! lock-step: every id is unique, `run_by_name` resolves exactly the
-//! registered ids, and the installed binary's `list` output matches the
-//! registry line for line.
+//! Smoke tests keeping the experiment registry, the oracle registry, and
+//! the `epic-run` CLI in lock-step: every id is unique, `run_by_name`
+//! resolves exactly the registered ids, the installed binary's `list`
+//! output matches the registry line for line, and every listed experiment
+//! has exactly one paper-shape oracle (no orphans in either direction).
 
 use epic_harness::experiments::all_experiments;
+use epic_harness::oracle::{all_oracles, oracle_for, Tier};
 use std::collections::HashSet;
 use std::process::Command;
 
@@ -50,4 +52,53 @@ fn epic_run_rejects_unknown_experiment() {
         .output()
         .expect("spawn epic-run");
     assert!(!out.status.success(), "unknown id must exit nonzero");
+}
+
+/// Every experiment `epic-run list` names has exactly one oracle, in the
+/// same order, and there are no orphan oracles pointing at ids the
+/// registry no longer knows.
+#[test]
+fn oracle_registry_matches_experiment_registry() {
+    let experiment_ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
+    let oracle_ids: Vec<&str> = all_oracles().iter().map(|o| o.experiment).collect();
+    assert_eq!(
+        oracle_ids, experiment_ids,
+        "oracle registry diverged from all_experiments()"
+    );
+    for id in &experiment_ids {
+        let oracle = oracle_for(id).unwrap_or_else(|| panic!("no oracle for {id}"));
+        assert!(
+            oracle.assertions.iter().any(|a| a.tier == Tier::Strict),
+            "{id}'s oracle has no strict assertion — nothing gates CI"
+        );
+    }
+    assert!(oracle_for("no_such_experiment").is_none());
+}
+
+/// `epic-run check` on an unknown id must fail cleanly — exit code 2,
+/// a diagnostic on stderr, and no experiment output or SHAPES.json
+/// writing before the rejection.
+#[test]
+fn epic_run_check_rejects_unknown_id() {
+    let out = Command::new(env!("CARGO_BIN_EXE_epic-run"))
+        .args(["check", "no_such_experiment"])
+        .output()
+        .expect("spawn epic-run");
+    assert_eq!(out.status.code(), Some(2), "check must exit 2 on a bad id");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("unknown experiment 'no_such_experiment'"),
+        "stderr should name the bad id: {stderr}"
+    );
+    // A bad id anywhere in the list aborts before running anything.
+    let out = Command::new(env!("CARGO_BIN_EXE_epic-run"))
+        .args(["check", "fig4_garbage", "no_such_experiment"])
+        .output()
+        .expect("spawn epic-run");
+    assert_eq!(out.status.code(), Some(2), "bad id in a list must exit 2");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        !stdout.contains("##### check"),
+        "must validate ids before running experiments: {stdout}"
+    );
 }

@@ -28,5 +28,7 @@ pub mod series;
 
 pub use event::{Event, EventKind};
 pub use recorder::Recorder;
-pub use render::{render_ascii, render_svg, visible_events, RenderOptions};
+pub use render::{
+    event_stats, render_ascii, render_svg, visible_events, EventStats, RenderOptions,
+};
 pub use series::Series;

@@ -220,9 +220,59 @@ pub fn visible_events(rec: &Recorder, kind: EventKind, min_ns: u64) -> Vec<Event
         .collect()
 }
 
+/// Aggregate duration statistics for one event kind — what a rendered
+/// timeline *shows* (how many boxes, how long), captured as numbers so the
+/// oracle layer can assert on it instead of a human eyeballing the SVG.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EventStats {
+    /// Number of matching events.
+    pub count: usize,
+    /// Summed duration (ns).
+    pub total_ns: u64,
+    /// Mean duration (ns; 0 if no events).
+    pub mean_ns: u64,
+    /// Longest single event (ns).
+    pub max_ns: u64,
+}
+
+/// Computes [`EventStats`] over one kind of event with duration ≥ `min_ns`.
+pub fn event_stats(rec: &Recorder, kind: EventKind, min_ns: u64) -> EventStats {
+    let events = visible_events(rec, kind, min_ns);
+    let total_ns: u64 = events.iter().map(|e| e.duration_ns()).sum();
+    let max_ns = events.iter().map(|e| e.duration_ns()).max().unwrap_or(0);
+    EventStats {
+        count: events.len(),
+        total_ns,
+        mean_ns: if events.is_empty() {
+            0
+        } else {
+            total_ns / events.len() as u64
+        },
+        max_ns,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn event_stats_aggregates_durations() {
+        let r = sample_recorder();
+        // BatchFree durations: 4000, 1000, 7000.
+        let all = event_stats(&r, EventKind::BatchFree, 0);
+        assert_eq!(all.count, 3);
+        assert_eq!(all.total_ns, 12_000);
+        assert_eq!(all.mean_ns, 4_000);
+        assert_eq!(all.max_ns, 7_000);
+        // Threshold filters the 1000 ns event.
+        let long = event_stats(&r, EventKind::BatchFree, 2_000);
+        assert_eq!(long.count, 2);
+        assert_eq!(long.total_ns, 11_000);
+        // No FreeCall events that long.
+        let none = event_stats(&r, EventKind::FreeCall, 1_000_000);
+        assert_eq!(none, EventStats::default());
+    }
 
     fn sample_recorder() -> Recorder {
         let r = Recorder::new(3, 64);

@@ -74,6 +74,12 @@ impl Series {
             .count()
     }
 
+    /// The y values in x order — the shape the structured-result layer
+    /// stores for monotonicity / crossover oracles.
+    pub fn sorted_ys(&self) -> Vec<f64> {
+        self.sorted_points().into_iter().map(|p| p.1).collect()
+    }
+
     /// CSV with header `x,y`.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("x,y\n");
@@ -129,6 +135,15 @@ mod tests {
         assert_eq!(s.max_y(), 30.0);
         assert!((s.mean_y() - 20.0).abs() < 1e-12);
         assert_eq!(s.name(), "garbage");
+    }
+
+    #[test]
+    fn sorted_ys_follow_x_order() {
+        let s = Series::new("y");
+        s.push(2.0, 20.0);
+        s.push(0.0, 10.0);
+        s.push(1.0, 30.0);
+        assert_eq!(s.sorted_ys(), vec![10.0, 30.0, 20.0]);
     }
 
     #[test]

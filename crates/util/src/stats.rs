@@ -109,6 +109,127 @@ impl OnlineStats {
     }
 }
 
+/// Sample-keeping statistics: everything [`OnlineStats`] offers plus
+/// order statistics ([`percentile`](Self::percentile)) and a normal-theory
+/// confidence interval ([`ci95_halfwidth`](Self::ci95_halfwidth)).
+///
+/// [`OnlineStats`] is O(1)-space and right for counters pushed millions of
+/// times; `SampleStats` is for *trial-level* aggregation (a handful of
+/// observations per configuration), where keeping the samples buys exact
+/// quantiles and lets the oracle layer reason about run-to-run noise.
+#[derive(Debug, Clone, Default)]
+pub struct SampleStats {
+    samples: Vec<f64>,
+    online: OnlineStats,
+}
+
+impl SampleStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        SampleStats::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.samples.push(x);
+        self.online.push(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.online.count()
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.online.mean()
+    }
+
+    /// Smallest observation (`NaN` if empty).
+    pub fn min(&self) -> f64 {
+        self.online.min()
+    }
+
+    /// Largest observation (`NaN` if empty).
+    pub fn max(&self) -> f64 {
+        self.online.max()
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        self.online.variance()
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.online.stddev()
+    }
+
+    /// The stored observations, in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The `q`-percentile (`0 ≤ q ≤ 100`) by linear interpolation between
+    /// order statistics (the common "type 7" estimator). `NaN` if empty;
+    /// the single sample for n = 1.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = q.clamp(0.0, 100.0) / 100.0;
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Median — `percentile(50)`.
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Half-width of the 95% confidence interval on the mean:
+    /// `t · s / √n` with a small-sample t table (normal 1.96 beyond
+    /// n = 30). 0 with fewer than two observations — a single trial
+    /// carries no spread information, and the oracle layer treats a zero
+    /// half-width as "no noise estimate, use the configured tolerance".
+    pub fn ci95_halfwidth(&self) -> f64 {
+        let n = self.online.count();
+        if n < 2 {
+            return 0.0;
+        }
+        // Two-sided 95% t critical values for df = n-1 (df 1..=30).
+        const T95: [f64; 30] = [
+            12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+            2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+            2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        ];
+        let df = (n - 1) as usize;
+        let t = if df <= 30 { T95[df - 1] } else { 1.96 };
+        t * self.stddev() / (n as f64).sqrt()
+    }
+
+    /// Relative noise level: `ci95_halfwidth / |mean|` (0 when the mean is
+    /// 0 or fewer than two samples). Oracles widen their tolerances by
+    /// this factor so one noisy CI box doesn't flip a verdict.
+    pub fn rel_ci95(&self) -> f64 {
+        let m = self.mean().abs();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.ci95_halfwidth() / m
+        }
+    }
+}
+
 /// Power-of-two-bucketed histogram for latency-style values spanning many
 /// orders of magnitude: bucket `i` counts observations in `[2^i, 2^(i+1))`
 /// (bucket 0 additionally holds zeros).
@@ -320,6 +441,94 @@ mod tests {
         empty.merge(&before);
         assert_eq!(empty.count(), 2);
         assert!(close(empty.mean(), 2.0));
+    }
+
+    #[test]
+    fn sample_stats_empty() {
+        let s = SampleStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.percentile(50.0).is_nan());
+        assert!(s.median().is_nan());
+        assert_eq!(s.ci95_halfwidth(), 0.0);
+        assert_eq!(s.rel_ci95(), 0.0);
+        assert!(s.samples().is_empty());
+    }
+
+    #[test]
+    fn sample_stats_single() {
+        let mut s = SampleStats::new();
+        s.push(7.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.percentile(0.0), 7.5);
+        assert_eq!(s.percentile(50.0), 7.5);
+        assert_eq!(s.percentile(100.0), 7.5);
+        // One sample carries no spread information.
+        assert_eq!(s.ci95_halfwidth(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn sample_stats_pair() {
+        let mut s = SampleStats::new();
+        s.push(10.0);
+        s.push(20.0);
+        assert_eq!(s.count(), 2);
+        assert!(close(s.mean(), 15.0));
+        assert!(close(s.median(), 15.0));
+        assert_eq!(s.percentile(0.0), 10.0);
+        assert_eq!(s.percentile(100.0), 20.0);
+        assert!(close(s.percentile(25.0), 12.5));
+        // df = 1: t = 12.706, s = sqrt(50), n = 2.
+        let expect = 12.706 * 50.0f64.sqrt() / 2.0f64.sqrt();
+        assert!(close(s.ci95_halfwidth(), expect));
+        assert!(close(s.rel_ci95(), expect / 15.0));
+    }
+
+    #[test]
+    fn sample_stats_skewed() {
+        // Heavily right-skewed: median must sit far below the mean, and
+        // the interpolated tail percentile must fall between the two
+        // largest order statistics.
+        let mut s = SampleStats::new();
+        for x in [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 1000.0] {
+            s.push(x);
+        }
+        assert!(close(s.median(), 1.0));
+        assert!(s.mean() > 100.0);
+        let p95 = s.percentile(95.0);
+        assert!(p95 > 2.0 && p95 < 1000.0, "p95 = {p95}");
+        assert_eq!(s.percentile(100.0), 1000.0);
+        // Monotone in q.
+        let mut prev = f64::NEG_INFINITY;
+        for q in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            let v = s.percentile(q);
+            assert!(v >= prev, "percentile not monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn sample_stats_matches_online() {
+        let mut s = SampleStats::new();
+        let mut o = OnlineStats::new();
+        for i in 0..40 {
+            let x = ((i * 37) % 11) as f64;
+            s.push(x);
+            o.push(x);
+        }
+        assert_eq!(s.count(), o.count());
+        assert!(close(s.mean(), o.mean()));
+        assert!(close(s.variance(), o.variance()));
+        assert_eq!(s.min(), o.min());
+        assert_eq!(s.max(), o.max());
+        // n > 30 uses the normal critical value.
+        assert!(close(
+            s.ci95_halfwidth(),
+            1.96 * o.stddev() / 40.0f64.sqrt()
+        ));
     }
 
     #[test]

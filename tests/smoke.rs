@@ -94,7 +94,7 @@ fn run_by_name_agrees_with_registry() {
     // Registry ids resolve; a fabricated one does not. (Actually *running*
     // an experiment is the harness crate's own tests' job — here we only
     // check the lookup path the CLI depends on.)
-    assert!(!run_by_name("definitely_not_an_experiment"));
+    assert!(run_by_name("definitely_not_an_experiment").is_none());
     let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
     assert!(ids.contains(&"fig11a_experiment1"));
     assert!(ids.contains(&"fig11b_experiment2"));
