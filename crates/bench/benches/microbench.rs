@@ -1,8 +1,9 @@
 //! Criterion microbenchmarks for the building blocks:
 //!
 //! * allocator fast paths (cached alloc/dealloc roundtrip per model);
-//! * SMR per-operation overhead (begin/end + protect) per scheme — the
-//!   "traversal tax" that explains why hp/he/wfe trail in Fig. 11a;
+//! * SMR per-operation overhead (guarded op + protected hops through the
+//!   thread-bound handle) per scheme — the "traversal tax" that explains
+//!   why hp/he/wfe trail in Fig. 11a;
 //! * single-threaded tree operations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -41,32 +42,23 @@ fn bench_allocator_roundtrip(c: &mut Criterion) {
 
 fn bench_smr_op_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("smr_begin_protect_end");
-    let schemes = [
-        SmrKind::None,
-        SmrKind::Qsbr,
-        SmrKind::Rcu,
-        SmrKind::Debra,
-        SmrKind::TokenPeriodic,
-        SmrKind::Hp,
-        SmrKind::He,
-        SmrKind::Ibr,
-        SmrKind::Nbr,
-        SmrKind::Wfe,
-    ];
-    for kind in schemes {
+    for kind in SmrKind::ALL {
         let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
         let smr = build_smr(kind, alloc, SmrConfig::new(1));
+        let handle = smr.register(0);
+        let links: Vec<std::sync::atomic::AtomicUsize> = (0..10)
+            .map(|i| std::sync::atomic::AtomicUsize::new(i * 64))
+            .collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.base_name()),
-            &smr,
-            |b, smr| {
+            &handle,
+            |b, handle| {
                 b.iter(|| {
-                    smr.begin_op(0);
-                    // A ~10-hop traversal's worth of protection calls.
-                    for slot in 0..10usize {
-                        smr.protect(0, slot % 8, black_box(slot * 64));
+                    let guard = handle.begin_op();
+                    // A ~10-hop traversal's worth of protected hops.
+                    for (slot, link) in links.iter().enumerate() {
+                        let _ = black_box(guard.protect_load(slot % 8, link));
                     }
-                    smr.end_op(0);
                 })
             },
         );
@@ -80,8 +72,9 @@ fn bench_tree_ops(c: &mut Criterion) {
         let alloc = build_allocator(AllocatorKind::Je, 1, CostModel::zero());
         let smr = build_smr(SmrKind::Debra, alloc, SmrConfig::new(1));
         let tree = build_tree(tree_kind, smr);
+        let handle = tree.smr().register(0);
         for k in 0..4096u64 {
-            tree.insert(0, k * 2, k);
+            tree.insert(&handle, k * 2, k);
         }
         group.bench_with_input(
             BenchmarkId::new("get", tree_kind.name()),
@@ -90,7 +83,7 @@ fn bench_tree_ops(c: &mut Criterion) {
                 let mut k = 0u64;
                 b.iter(|| {
                     k = (k + 797) % 8192;
-                    black_box(tree.get(0, k))
+                    black_box(tree.get(&handle, k))
                 })
             },
         );
@@ -101,8 +94,8 @@ fn bench_tree_ops(c: &mut Criterion) {
                 let mut k = 1u64;
                 b.iter(|| {
                     k = ((k + 794) % 8192) | 1; // odd keys: always absent before
-                    tree.insert(0, k, k);
-                    tree.remove(0, k)
+                    tree.insert(&handle, k, k);
+                    tree.remove(&handle, k)
                 })
             },
         );

@@ -1,0 +1,210 @@
+//! Handle-path microbenchmark: per-operation overhead of the SMR
+//! protection protocol on read-mostly `HmList` workloads, for every scheme.
+//!
+//! The Harris–Michael list is the hop-heaviest client in the tree zoo
+//! (every `get` over an L-key list performs ~L/2 protected hops), so it
+//! isolates exactly the cost the `SmrHandle`/`OpGuard` redesign targets:
+//! per-hop slot publication + validation (`protect_load`) without
+//! re-indexing `tid` slot arrays or dyn-dispatching per hop.
+//!
+//! Two regimes, both single-threaded (pure protocol overhead, no
+//! contention noise):
+//!
+//! * **get** — pure lookups over a prefilled list; hop cost only.
+//! * **mixed** — 90% lookups / 10% updates (alternating insert/remove of
+//!   a rotating key) under amortized freeing, so the retire/alloc/drain
+//!   path runs at its steady-state rate. A counting `#[global_allocator]`
+//!   observes heap traffic from below: in steady state the handle path
+//!   must allocate **zero** heap memory per operation (the `none` scheme
+//!   is exempt — its garbage grows by definition).
+//!
+//! The minimum over measurement windows is reported, criterion-style.
+//! Results go to stdout and `results/<EPIC_HANDLE_OUT>` (default
+//! `BENCH_handle.json`). The committed `BENCH_handle_baseline.json` /
+//! `BENCH_handle.json` pair was recorded as the per-scheme minimum over
+//! five *interleaved* process runs of this bench against the pre-handle
+//! tid-based API and the handle path respectively (identical loop
+//! shape), so the two files are directly comparable and machine drift
+//! cancels.
+//!
+//! Knobs: `EPIC_HANDLE_OPS` (measured ops per regime, default 200000),
+//! `EPIC_HANDLE_KEYS` (list size, default 64), `EPIC_HANDLE_OUT`,
+//! `EPIC_HANDLE_ASSERT` (=0 disables the zero-alloc gate).
+
+use epic_alloc::{build_allocator, AllocatorKind, CostModel};
+use epic_ds::{ConcurrentMap, HmList};
+use epic_harness::report::results_dir;
+use epic_smr::{build_smr, FreeMode, SmrConfig, SmrHandle, SmrKind};
+use epic_util::{now_ns, XorShift64};
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Heap allocation calls observed below everything.
+static HEAP_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: forwarded contract.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        HEAP_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Row {
+    scheme: &'static str,
+    get_ns: f64,
+    mixed_ns: f64,
+    mixed_allocs: f64,
+}
+
+/// Builds the list and prefills `keys` consecutive keys.
+fn make_list(kind: SmrKind) -> HmList {
+    let alloc = build_allocator(AllocatorKind::Je, 1, CostModel::zero());
+    let mut cfg = SmrConfig::new(1)
+        .with_mode(FreeMode::Amortized { per_op: 1 })
+        .with_bag_cap(256);
+    cfg.epoch_check_every = 4;
+    cfg.era_freq = 64;
+    HmList::new(build_smr(kind, Arc::clone(&alloc), cfg))
+}
+
+fn bench_scheme(kind: SmrKind, ops: usize, keys: u64) -> Row {
+    const WINDOWS: usize = 5;
+    let list = make_list(kind);
+    let handle: SmrHandle = list.smr().register(0);
+    for k in 0..keys {
+        list.insert(&handle, k, k);
+    }
+
+    // Regime 1: pure lookups (hop cost only).
+    let mut rng = XorShift64::new(0x9E37_79B9);
+    let get_loop = |rng: &mut XorShift64, n: usize| {
+        for _ in 0..n {
+            let key = rng.next_bounded(keys);
+            std::hint::black_box(list.get(&handle, key));
+        }
+    };
+    get_loop(&mut rng, ops.max(4096) / 4); // warm-up
+    let per_window = (ops / WINDOWS).max(1);
+    let mut get_best = u64::MAX;
+    for _ in 0..WINDOWS {
+        let t0 = now_ns();
+        get_loop(&mut rng, per_window);
+        get_best = get_best.min(now_ns() - t0);
+    }
+
+    // Regime 2: 90/10 read-mostly churn; steady-state heap allocs must be
+    // zero (AF recycling keeps the chunk store flat).
+    let mixed_loop = |rng: &mut XorShift64, n: usize| {
+        for i in 0..n {
+            let key = rng.next_bounded(keys);
+            if i % 10 == 9 {
+                if i % 20 == 19 {
+                    list.remove(&handle, key);
+                } else {
+                    list.insert(&handle, key, key);
+                }
+            } else {
+                std::hint::black_box(list.get(&handle, key));
+            }
+        }
+    };
+    mixed_loop(&mut rng, ops.max(4096) / 2); // warm-up
+    let a0 = HEAP_ALLOCS.load(Ordering::Relaxed);
+    let mut mixed_best = u64::MAX;
+    for _ in 0..WINDOWS {
+        let t0 = now_ns();
+        mixed_loop(&mut rng, per_window);
+        mixed_best = mixed_best.min(now_ns() - t0);
+    }
+    let a1 = HEAP_ALLOCS.load(Ordering::Relaxed);
+
+    Row {
+        scheme: kind.base_name(),
+        get_ns: get_best as f64 / per_window as f64,
+        mixed_ns: mixed_best as f64 / per_window as f64,
+        mixed_allocs: (a1 - a0) as f64 / (per_window * WINDOWS) as f64,
+    }
+}
+
+fn main() {
+    let ops = env_usize("EPIC_HANDLE_OPS", 200_000);
+    let keys = env_usize("EPIC_HANDLE_KEYS", 64) as u64;
+    let out_name =
+        std::env::var("EPIC_HANDLE_OUT").unwrap_or_else(|_| "BENCH_handle.json".to_string());
+
+    println!("microbench_handle: hmlist, 1 thread, {keys} keys, {ops} ops/regime (af, per_op=1)");
+    println!(
+        "{:<16} {:>12} {:>12} {:>16}",
+        "scheme", "get ns/op", "mixed ns/op", "mixed alloc/op"
+    );
+
+    let mut rows = Vec::new();
+    for kind in SmrKind::ALL {
+        let r = bench_scheme(kind, ops, keys);
+        println!(
+            "{:<16} {:>12.2} {:>12.2} {:>16.6}",
+            r.scheme, r.get_ns, r.mixed_ns, r.mixed_allocs
+        );
+        rows.push(r);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"config\": {{\"ops\": {ops}, \"keys\": {keys}}},");
+    let _ = writeln!(json, "  \"schemes\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"scheme\": \"{}\", \"get_ns_per_op\": {:.3}, \
+             \"mixed_ns_per_op\": {:.3}, \"mixed_allocs_per_op\": {:.6}}}{}",
+            r.scheme, r.get_ns, r.mixed_ns, r.mixed_allocs, comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = results_dir().join(&out_name);
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    // Gate, don't just report: the steady-state handle path must not touch
+    // the heap (`none` exempt: its chunk store grows forever by design).
+    if env_usize("EPIC_HANDLE_ASSERT", 1) != 0 {
+        for r in rows.iter().filter(|r| r.scheme != "none") {
+            assert_eq!(
+                r.mixed_allocs, 0.0,
+                "{}: steady-state handle path allocated on the heap",
+                r.scheme
+            );
+        }
+        println!("zero-allocation invariant holds for all reclaiming schemes");
+    }
+}

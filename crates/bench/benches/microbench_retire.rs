@@ -70,23 +70,6 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// All thirteen schemes, leaky baseline included.
-const SCHEMES: [SmrKind; 13] = [
-    SmrKind::None,
-    SmrKind::Qsbr,
-    SmrKind::Rcu,
-    SmrKind::Debra,
-    SmrKind::TokenNaive,
-    SmrKind::TokenPassFirst,
-    SmrKind::TokenPeriodic,
-    SmrKind::Hp,
-    SmrKind::He,
-    SmrKind::Ibr,
-    SmrKind::Nbr,
-    SmrKind::NbrPlus,
-    SmrKind::Wfe,
-];
-
 struct Row {
     scheme: &'static str,
     burst_ns: f64,
@@ -106,7 +89,7 @@ fn bench_burst(kind: SmrKind, burst: usize, rounds: usize) -> (f64, f64) {
         let alloc = build_allocator(AllocatorKind::Je, 1, CostModel::zero());
         let mut cfg = SmrConfig::new(1).with_bag_cap(burst * 2);
         cfg.era_freq = 64;
-        let smr = build_smr(kind, std::sync::Arc::clone(&alloc), cfg);
+        let smr = build_smr(kind, std::sync::Arc::clone(&alloc), cfg).into_raw();
         let blocks: Vec<_> = (0..burst)
             .map(|_| {
                 let p = alloc.alloc(0, 64);
@@ -149,7 +132,7 @@ fn bench_steady(kind: SmrKind, ops: usize) -> (f64, f64, u64) {
         .with_bag_cap(256);
     cfg.epoch_check_every = 4;
     cfg.era_freq = 64;
-    let smr = build_smr(kind, std::sync::Arc::clone(&alloc), cfg);
+    let smr = build_smr(kind, std::sync::Arc::clone(&alloc), cfg).into_raw();
     let churn = |n: usize| {
         for _ in 0..n {
             smr.begin_op(0);
@@ -195,7 +178,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for kind in SCHEMES {
+    for kind in SmrKind::ALL {
         let (burst_ns, burst_allocs) = bench_burst(kind, burst, rounds);
         let (steady_ns, steady_allocs, smr_ctr) = bench_steady(kind, ops);
         println!(

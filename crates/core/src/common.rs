@@ -43,6 +43,9 @@ pub struct SchemeCommon {
     pub cfg: SmrConfig,
     /// Counters (one extra slot for the background reclaimer's tid).
     pub stats: SmrStats,
+    /// Full scheme name (base + free-mode suffix), interned once here so
+    /// per-trial stats paths never re-format it.
+    name: String,
     freebufs: TidSlots<FreeBuffer>,
     pools: TidSlots<PoolBins>,
     /// Recycled scan scratch, one pool per thread.
@@ -51,8 +54,9 @@ pub struct SchemeCommon {
 }
 
 impl SchemeCommon {
-    /// Builds the shared state.
-    pub fn new(alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Self {
+    /// Builds the shared state for the scheme named `base` (the free-mode
+    /// suffix is appended here, once).
+    pub fn new(base: &str, alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Self {
         let n = cfg.max_threads;
         // Stats get one extra slot so the background reclaimer (tid == n)
         // has somewhere to account its frees.
@@ -91,6 +95,7 @@ impl SchemeCommon {
             }
         });
         SchemeCommon {
+            name: format!("{}{}", base, cfg.mode.suffix()),
             alloc,
             cfg,
             stats,
@@ -366,9 +371,9 @@ impl SchemeCommon {
         }
     }
 
-    /// Scheme name helper: base plus free-mode suffix.
-    pub fn scheme_name(&self, base: &str) -> String {
-        format!("{}{}", base, self.cfg.mode.suffix())
+    /// The cached scheme name (base plus free-mode suffix).
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Background mode: blocks until the reclaimer has freed everything
@@ -410,7 +415,7 @@ mod tests {
             .with_mode(mode)
             .with_recorder(Arc::new(Recorder::new(2, 128)))
             .with_garbage_series(Arc::new(Series::new("g")));
-        SchemeCommon::new(alloc, cfg)
+        SchemeCommon::new("test", alloc, cfg)
     }
 
     fn make_batch(c: &SchemeCommon, tid: Tid, n: usize) -> RetiredList {
@@ -493,15 +498,9 @@ mod tests {
 
     #[test]
     fn name_suffixes() {
-        assert_eq!(common(FreeMode::Batch).scheme_name("debra"), "debra");
-        assert_eq!(
-            common(FreeMode::amortized()).scheme_name("debra"),
-            "debra_af"
-        );
-        assert_eq!(
-            common(FreeMode::Background).scheme_name("debra"),
-            "debra_bg"
-        );
+        assert_eq!(common(FreeMode::Batch).name(), "test");
+        assert_eq!(common(FreeMode::amortized()).name(), "test_af");
+        assert_eq!(common(FreeMode::Background).name(), "test_bg");
     }
 
     #[test]
@@ -511,7 +510,7 @@ mod tests {
         let cfg = SmrConfig::new(2)
             .with_mode(FreeMode::Background)
             .with_recorder(Arc::new(Recorder::new(2, 128)));
-        let c = SchemeCommon::new(Arc::clone(&alloc), cfg);
+        let c = SchemeCommon::new("test", Arc::clone(&alloc), cfg);
         let mut batch = make_batch(&c, 0, 20);
         c.dispose(0, &mut batch);
         assert!(batch.is_empty());
@@ -579,7 +578,7 @@ mod tests {
         let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
         let mut cfg = SmrConfig::new(1).with_mode(FreeMode::Pooled);
         cfg.af_backlog_cap = 4;
-        let c = SchemeCommon::new(alloc, cfg);
+        let c = SchemeCommon::new("test", alloc, cfg);
         let mut batch = make_batch(&c, 0, 8);
         c.dispose(0, &mut batch);
         assert_eq!(c.pool_len(0), 8);
@@ -599,7 +598,7 @@ mod tests {
     fn background_mode_shutdown_joins_cleanly() {
         let alloc = build_allocator(AllocatorKind::Sys, 3, CostModel::zero());
         let cfg = SmrConfig::new(2).with_mode(FreeMode::Background);
-        let c = SchemeCommon::new(Arc::clone(&alloc), cfg);
+        let c = SchemeCommon::new("test", Arc::clone(&alloc), cfg);
         let mut batch = make_batch(&c, 1, 5);
         c.dispose(1, &mut batch);
         c.sync_background();

@@ -16,25 +16,41 @@
 //!   (cooperative neutralization — see DESIGN.md for the signal
 //!   substitution), a simplified WFE, and a leaky `none` baseline.
 //!
-//! All schemes implement the dyn-compatible [`Smr`] trait so the harness
-//! can sweep them uniformly, and free through an [`epic_alloc`]
-//! [`PoolAllocator`], which is where the remote-batch-free problem lives.
-//!
 //! ## Using a scheme from a data structure
 //!
-//! ```text
-//! smr.begin_op(tid);                   // also drains the AF list
-//! loop {
-//!     let p = load link;
-//!     smr.protect(tid, slot, p);       // no-op for epoch schemes
-//!     if !smr.needs_validate() || relink == p { break }
-//! }
-//! if smr.poll_restart(tid) { restart } // NBR neutralization
-//! smr.enter_write_phase(tid, &[nodes about to be touched]);
-//! ... unlink node ...
-//! smr.retire(tid, node);
-//! smr.end_op(tid);
+//! The public surface is thread-bound (DESIGN.md §7): [`build_smr`]
+//! returns a shared [`Smr`], each worker thread resolves its per-thread
+//! state once with [`Smr::register`], and every operation runs under an
+//! RAII [`OpGuard`] whose [`protect_load`](OpGuard::protect_load)
+//! combinator owns the publish → re-read/validate → neutralization-poll
+//! loop that slot-based schemes require:
+//!
 //! ```
+//! use epic_alloc::{build_allocator, AllocatorKind, CostModel};
+//! use epic_smr::{build_smr, SmrConfig, SmrKind};
+//! use std::sync::atomic::AtomicUsize;
+//!
+//! let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+//! let smr = build_smr(SmrKind::Hp, alloc, SmrConfig::new(1));
+//!
+//! let handle = smr.register(0); // once per thread
+//! {
+//!     let guard = handle.begin_op(); // end_op on drop
+//!     let node = guard.alloc(64); // pool-alloc + birth-era stamp fused
+//!     let link = AtomicUsize::new(node.as_ptr() as usize);
+//!     // One protected hop: publish, validate, poll — Err(Restart) means
+//!     // drop every pointer and retry from the root.
+//!     let next = guard.protect_load(0, &link).expect("not neutralized");
+//!     guard.enter_write_phase(&[next]); // NBR write-phase immunity
+//!     guard.retire(node); // freed once no thread can hold it
+//! }
+//! smr.quiesce_and_drain();
+//! assert_eq!(smr.stats().freed + smr.stats().garbage, 1);
+//! ```
+//!
+//! The tid-everywhere [`RawSmr`] trait behind the facade remains the
+//! scheme-implementor surface (and the harness escape hatch for sweep
+//! construction, stats, detach and teardown) — see [`Smr::raw`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -42,6 +58,7 @@
 pub mod common;
 pub mod config;
 pub mod freebuf;
+pub mod handle;
 pub mod retired;
 pub mod schemes;
 pub mod smr_stats;
@@ -49,6 +66,7 @@ pub mod smr_stats;
 pub use common::SchemeCommon;
 pub use config::{FreeMode, SmrConfig};
 pub use freebuf::FreeBuffer;
+pub use handle::{OpGuard, Restart, SchemeLocal, Smr, SmrHandle, LINK_TAG_MASK};
 pub use retired::{Retired, RetiredList};
 pub use smr_stats::SmrSnapshot;
 
@@ -56,11 +74,15 @@ use epic_alloc::{PoolAllocator, Tid};
 use std::ptr::NonNull;
 use std::sync::Arc;
 
-/// The reclamation-scheme interface the trees program against.
+/// The raw reclamation-scheme interface the schemes implement.
 ///
 /// Methods take the caller's dense [`Tid`]; a given tid must be used by at
-/// most one thread at a time (same contract as [`PoolAllocator`]).
-pub trait Smr: Send + Sync {
+/// most one thread at a time (same contract as [`PoolAllocator`]). Data
+/// structures do not call this directly — they go through the thread-bound
+/// [`SmrHandle`]/[`OpGuard`] surface, which resolves
+/// [`local`](RawSmr::local) once and keeps the per-hop protocol
+/// ([`OpGuard::protect_load`]) free of tid re-indexing and dyn dispatch.
+pub trait RawSmr: Send + Sync {
     /// Begins a data-structure operation: publishes whatever the scheme
     /// needs (epoch announcement, token check, reservation reset) and
     /// drains the amortized-free list by the configured per-op count.
@@ -73,8 +95,9 @@ pub trait Smr: Send + Sync {
     /// Slot-based schemes (HP) publish `ptr`; era-based schemes (HE, IBR,
     /// WFE) publish the current era; epoch/token schemes do nothing.
     ///
-    /// If [`needs_validate`](Smr::needs_validate) returns true the caller
-    /// must re-read the link after this call and retry until stable.
+    /// If [`needs_validate`](RawSmr::needs_validate) returns true the
+    /// caller must re-read the link after this call and retry until stable
+    /// — [`OpGuard::protect_load`] is that loop, written once.
     fn protect(&self, tid: Tid, slot: usize, ptr: usize);
 
     /// True if `protect` requires the re-read-and-retry validation loop.
@@ -98,7 +121,8 @@ pub trait Smr: Send + Sync {
     /// Serves an allocation from the thread's object pool when the scheme
     /// runs in [`FreeMode::Pooled`]. `None` (the default, and the answer
     /// in every other mode) means "allocate from the allocator". Callers
-    /// must still invoke [`on_alloc`](Smr::on_alloc) on the returned block.
+    /// must still invoke [`on_alloc`](RawSmr::on_alloc) on the returned
+    /// block.
     fn try_pool_alloc(&self, tid: Tid, size: usize) -> Option<NonNull<u8>> {
         let _ = (tid, size);
         None
@@ -127,10 +151,21 @@ pub trait Smr: Send + Sync {
     fn reset_stats(&self);
 
     /// Scheme name including the free-mode suffix (e.g. `"debra_af"`).
-    fn name(&self) -> String;
+    /// Cached at construction — hot per-trial stats paths may call this
+    /// freely.
+    fn name(&self) -> &str;
 
     /// The scheme's kind tag.
     fn kind(&self) -> SmrKind;
+
+    /// Number of participating threads (dense tids `0..max_threads`).
+    fn max_threads(&self) -> usize;
+
+    /// The scheme's per-thread fast path for `tid`, captured by
+    /// [`Smr::register`]. The returned [`SchemeLocal`] must stay valid for
+    /// the scheme's lifetime and reference only state owned by `tid` (plus
+    /// global clocks).
+    fn local(&self, tid: Tid) -> SchemeLocal;
 
     /// The allocator this scheme frees through.
     fn allocator(&self) -> &Arc<dyn PoolAllocator>;
@@ -157,6 +192,25 @@ pub enum SmrKind {
 }
 
 impl SmrKind {
+    /// Every scheme the factory knows, leaky baseline included, in
+    /// [`build_smr`]'s match order. Sweeps and exhaustiveness tests should
+    /// iterate this instead of hand-maintaining their own 13-kind lists.
+    pub const ALL: [SmrKind; 13] = [
+        SmrKind::None,
+        SmrKind::Qsbr,
+        SmrKind::Rcu,
+        SmrKind::Debra,
+        SmrKind::TokenNaive,
+        SmrKind::TokenPassFirst,
+        SmrKind::TokenPeriodic,
+        SmrKind::Hp,
+        SmrKind::He,
+        SmrKind::Ibr,
+        SmrKind::Nbr,
+        SmrKind::NbrPlus,
+        SmrKind::Wfe,
+    ];
+
     /// The ten schemes of the paper's Experiment 2 (Fig. 11b), in its
     /// display order. `TokenPeriodic` is the "token" row (token_af when
     /// amortized).
@@ -213,65 +267,14 @@ impl SmrKind {
     }
 }
 
-/// RAII operation guard: `begin_op` on creation, `end_op` on drop.
-///
-/// ```
-/// use epic_alloc::{build_allocator, AllocatorKind, CostModel};
-/// use epic_smr::{build_smr, OpGuard, SmrConfig, SmrKind};
-/// use std::sync::Arc;
-///
-/// let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
-/// let smr = build_smr(SmrKind::Debra, Arc::clone(&alloc), SmrConfig::new(1));
-/// {
-///     let guard = OpGuard::new(&*smr, 0);
-///     // ... traverse; retire through the guard ...
-///     let p = alloc.alloc(0, 64);
-///     guard.retire(p);
-/// } // end_op here
-/// smr.quiesce_and_drain();
-/// assert_eq!(smr.stats().freed + smr.stats().garbage, 1);
-/// ```
-pub struct OpGuard<'a> {
-    smr: &'a dyn Smr,
-    tid: Tid,
-}
-
-impl<'a> OpGuard<'a> {
-    /// Begins an operation for `tid`.
-    pub fn new(smr: &'a dyn Smr, tid: Tid) -> Self {
-        smr.begin_op(tid);
-        OpGuard { smr, tid }
-    }
-
-    /// The guarded thread id.
-    pub fn tid(&self) -> Tid {
-        self.tid
-    }
-
-    /// Publishes protection for a pointer (see [`Smr::protect`]).
-    pub fn protect(&self, slot: usize, ptr: usize) {
-        self.smr.protect(self.tid, slot, ptr);
-    }
-
-    /// Neutralization poll (see [`Smr::poll_restart`]).
-    pub fn poll_restart(&self) -> bool {
-        self.smr.poll_restart(self.tid)
-    }
-
-    /// Retires an unlinked node through the guarded scheme.
-    pub fn retire(&self, ptr: NonNull<u8>) {
-        self.smr.retire(self.tid, ptr);
-    }
-}
-
-impl Drop for OpGuard<'_> {
-    fn drop(&mut self) {
-        self.smr.end_op(self.tid);
-    }
-}
-
-/// Builds a reclamation scheme over `alloc` with configuration `cfg`.
-pub fn build_smr(kind: SmrKind, alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Arc<dyn Smr> {
+/// Builds a raw scheme over `alloc` with configuration `cfg` (the
+/// [`build_smr`] internals, exposed for callers that drive tids
+/// themselves).
+pub fn build_raw_smr(
+    kind: SmrKind,
+    alloc: Arc<dyn PoolAllocator>,
+    cfg: SmrConfig,
+) -> Arc<dyn RawSmr> {
     match kind {
         SmrKind::None => Arc::new(schemes::leak::LeakSmr::new(alloc, cfg)),
         SmrKind::Qsbr => Arc::new(schemes::qsbr::QsbrSmr::new(alloc, cfg)),
@@ -301,30 +304,30 @@ pub fn build_smr(kind: SmrKind, alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -
     }
 }
 
+/// Builds a reclamation scheme over `alloc` with configuration `cfg`.
+pub fn build_smr(kind: SmrKind, alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Smr {
+    Smr::from_raw(build_raw_smr(kind, alloc, cfg))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn kind_names_roundtrip() {
-        for kind in [
-            SmrKind::None,
-            SmrKind::Qsbr,
-            SmrKind::Rcu,
-            SmrKind::Debra,
-            SmrKind::TokenNaive,
-            SmrKind::TokenPassFirst,
-            SmrKind::TokenPeriodic,
-            SmrKind::Hp,
-            SmrKind::He,
-            SmrKind::Ibr,
-            SmrKind::Nbr,
-            SmrKind::NbrPlus,
-            SmrKind::Wfe,
-        ] {
+        for kind in SmrKind::ALL {
             assert_eq!(SmrKind::parse(kind.base_name()), Some(kind), "{kind:?}");
         }
         assert_eq!(SmrKind::parse("unknown"), None);
+    }
+
+    #[test]
+    fn all_is_complete_and_distinct() {
+        let set: std::collections::HashSet<_> = SmrKind::ALL.iter().collect();
+        assert_eq!(set.len(), SmrKind::ALL.len());
+        for kind in SmrKind::EXPERIMENT2 {
+            assert!(SmrKind::ALL.contains(&kind), "{kind:?} missing from ALL");
+        }
     }
 
     #[test]
@@ -332,5 +335,19 @@ mod tests {
         assert_eq!(SmrKind::EXPERIMENT2.len(), 10);
         let set: std::collections::HashSet<_> = SmrKind::EXPERIMENT2.iter().collect();
         assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn factory_agrees_with_kind_tags() {
+        use epic_alloc::{build_allocator, AllocatorKind, CostModel};
+        for kind in SmrKind::ALL {
+            let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
+            let smr = build_smr(kind, alloc, SmrConfig::new(1));
+            assert_eq!(smr.kind(), kind);
+            // Batch mode has no suffix: the cached name must be exactly the
+            // kind's base name (pins the per-constructor base strings).
+            assert_eq!(smr.name(), kind.base_name());
+            assert_eq!(smr.raw().max_threads(), 1);
+        }
     }
 }

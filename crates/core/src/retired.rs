@@ -18,7 +18,7 @@ use std::sync::atomic::Ordering;
 ///
 /// Carries the metadata era-based schemes need to decide freeability:
 /// the block's birth era (stamped at allocation via
-/// [`crate::Smr::on_alloc`]) and the era at retirement. Epoch/token
+/// [`crate::RawSmr::on_alloc`]) and the era at retirement. Epoch/token
 /// schemes ignore both fields. This is a *view*: while the object sits on
 /// a [`RetiredList`], the canonical copy of both eras lives in the block's
 /// own header.
@@ -76,7 +76,7 @@ impl Retired {
 /// `push` is unsafe because linking writes through the pointer's header:
 /// every entry must be a live block of a [`epic_alloc::PoolAllocator`]
 /// that the caller exclusively owns from retirement to free — the same
-/// contract [`crate::Smr::retire`] already imposes. Dropping a non-empty
+/// contract [`crate::RawSmr::retire`] already imposes. Dropping a non-empty
 /// list does not free its blocks; they stay owned by the allocator's chunk
 /// store until it drops (identical to dropping the old `Vec<Retired>`).
 #[derive(Debug, Default)]

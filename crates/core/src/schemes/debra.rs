@@ -24,7 +24,7 @@ use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
 use crate::schemes::EpochBag;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Smr, SmrKind};
+use crate::{RawSmr, SchemeLocal, SmrKind};
 
 use epic_alloc::{PoolAllocator, Tid};
 use epic_util::{CachePadded, TidSlots};
@@ -55,7 +55,7 @@ impl DebraSmr {
     pub fn new(alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Self {
         let n = cfg.max_threads;
         DebraSmr {
-            common: SchemeCommon::new(alloc, cfg),
+            common: SchemeCommon::new("debra", alloc, cfg),
             global_epoch: AtomicU64::new(3),
             announce: (0..n)
                 .map(|_| CachePadded::new(AtomicU64::new(3 << 1 | QUIESCENT)))
@@ -105,7 +105,7 @@ impl DebraSmr {
     }
 }
 
-impl Smr for DebraSmr {
+impl RawSmr for DebraSmr {
     fn begin_op(&self, tid: Tid) {
         self.common.relief(tid);
         let e = self.global_epoch.load(Ordering::SeqCst);
@@ -196,8 +196,16 @@ impl Smr for DebraSmr {
         self.common.stats.reset();
     }
 
-    fn name(&self) -> String {
-        self.common.scheme_name("debra")
+    fn name(&self) -> &str {
+        self.common.name()
+    }
+
+    fn max_threads(&self) -> usize {
+        self.common.n_threads()
+    }
+
+    fn local(&self, _tid: Tid) -> SchemeLocal {
+        SchemeLocal::passive()
     }
 
     fn kind(&self) -> SmrKind {

@@ -2,7 +2,7 @@
 //!
 //! A global *era* clock replaces hazard pointers' per-object announcements:
 //! blocks are stamped with their birth era at allocation
-//! ([`crate::Smr::on_alloc`] writes the block header) and their retire era
+//! ([`crate::RawSmr::on_alloc`] writes the block header) and their retire era
 //! at retirement; readers publish the era they are reading under. An object
 //! is reclaimable when no published era falls inside its `[birth, retire]`
 //! lifetime.
@@ -16,7 +16,7 @@ use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
 use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Smr, SmrKind};
+use crate::{RawSmr, SchemeLocal, SmrKind};
 
 use epic_alloc::block;
 use epic_alloc::{PoolAllocator, Tid};
@@ -59,7 +59,7 @@ impl HeSmr {
                 bag: RetiredList::new(),
                 retires_since_tick: 0,
             }),
-            common: SchemeCommon::new(alloc, cfg),
+            common: SchemeCommon::new("he", alloc, cfg),
         }
     }
 
@@ -94,7 +94,7 @@ impl HeSmr {
     }
 }
 
-impl Smr for HeSmr {
+impl RawSmr for HeSmr {
     fn begin_op(&self, tid: Tid) {
         self.common.relief(tid);
     }
@@ -183,8 +183,18 @@ impl Smr for HeSmr {
         self.common.stats.reset();
     }
 
-    fn name(&self) -> String {
-        self.common.scheme_name("he")
+    fn name(&self) -> &str {
+        self.common.name()
+    }
+
+    fn max_threads(&self) -> usize {
+        self.common.n_threads()
+    }
+
+    fn local(&self, tid: Tid) -> SchemeLocal {
+        // SAFETY: era clock and slot array are owned by self (boxed /
+        // inline, stable addresses) and outlive every handle via the Arc.
+        unsafe { SchemeLocal::era_slots(&self.era, &self.slots[tid * self.k..(tid + 1) * self.k]) }
     }
 
     fn kind(&self) -> SmrKind {

@@ -1,7 +1,7 @@
 //! Hazard pointers (Michael, 2004) — `hp`.
 //!
 //! Per-thread announcement slots hold the addresses a thread may be about
-//! to dereference. The data structure publishes via [`crate::Smr::protect`]
+//! to dereference. The data structure publishes via [`crate::RawSmr::protect`]
 //! and *must* re-read the link to validate (`needs_validate() == true`);
 //! reclamation scans all slots and frees only unannounced objects.
 //!
@@ -14,7 +14,7 @@ use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
 use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Smr, SmrKind};
+use crate::{RawSmr, SchemeLocal, SmrKind};
 
 use epic_alloc::{PoolAllocator, Tid};
 use epic_util::TidSlots;
@@ -49,8 +49,14 @@ impl HpSmr {
             threads: TidSlots::new_with(n, |_| HpThread {
                 bag: RetiredList::new(),
             }),
-            common: SchemeCommon::new(alloc, cfg),
+            common: SchemeCommon::new("hp", alloc, cfg),
         }
+    }
+
+    /// Raw slot contents (tests).
+    #[cfg(test)]
+    pub(crate) fn slot_value(&self, tid: Tid, slot: usize) -> usize {
+        self.slots[tid * self.k + slot].load(Ordering::Relaxed)
     }
 
     /// Scans all hazard slots and frees every bagged object that is not
@@ -80,7 +86,7 @@ impl HpSmr {
     }
 }
 
-impl Smr for HpSmr {
+impl RawSmr for HpSmr {
     fn begin_op(&self, tid: Tid) {
         self.common.relief(tid);
     }
@@ -160,8 +166,18 @@ impl Smr for HpSmr {
         self.common.stats.reset();
     }
 
-    fn name(&self) -> String {
-        self.common.scheme_name("hp")
+    fn name(&self) -> &str {
+        self.common.name()
+    }
+
+    fn max_threads(&self) -> usize {
+        self.common.n_threads()
+    }
+
+    fn local(&self, tid: Tid) -> SchemeLocal {
+        // SAFETY: the slot array is owned by self, boxed (stable address),
+        // and outlives every handle via the facade's Arc.
+        unsafe { SchemeLocal::hazard_slots(&self.slots[tid * self.k..(tid + 1) * self.k]) }
     }
 
     fn kind(&self) -> SmrKind {

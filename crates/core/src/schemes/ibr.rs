@@ -14,7 +14,7 @@ use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
 use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Smr, SmrKind};
+use crate::{RawSmr, SchemeLocal, SmrKind};
 
 use epic_alloc::block;
 use epic_alloc::{PoolAllocator, Tid};
@@ -62,7 +62,7 @@ impl IbrSmr {
                 bag: RetiredList::new(),
                 retires_since_tick: 0,
             }),
-            common: SchemeCommon::new(alloc, cfg),
+            common: SchemeCommon::new("ibr", alloc, cfg),
         }
     }
 
@@ -100,7 +100,7 @@ impl IbrSmr {
     }
 }
 
-impl Smr for IbrSmr {
+impl RawSmr for IbrSmr {
     fn begin_op(&self, tid: Tid) {
         let e = self.era.load(Ordering::SeqCst);
         let r = &self.reservations[tid];
@@ -191,8 +191,18 @@ impl Smr for IbrSmr {
         self.common.stats.reset();
     }
 
-    fn name(&self) -> String {
-        self.common.scheme_name("ibr")
+    fn name(&self) -> &str {
+        self.common.name()
+    }
+
+    fn max_threads(&self) -> usize {
+        self.common.n_threads()
+    }
+
+    fn local(&self, tid: Tid) -> SchemeLocal {
+        // SAFETY: era clock and reservation cells are owned by self (boxed
+        // / inline, stable addresses) and outlive every handle via the Arc.
+        unsafe { SchemeLocal::era_interval(&self.era, &self.reservations[tid].hi) }
     }
 
     fn kind(&self) -> SmrKind {

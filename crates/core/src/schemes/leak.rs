@@ -9,7 +9,7 @@
 use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Smr, SmrKind};
+use crate::{RawSmr, SchemeLocal, SmrKind};
 
 use epic_alloc::{PoolAllocator, Tid};
 use std::ptr::NonNull;
@@ -24,12 +24,12 @@ impl LeakSmr {
     /// Builds the leaky baseline.
     pub fn new(alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Self {
         LeakSmr {
-            common: SchemeCommon::new(alloc, cfg),
+            common: SchemeCommon::new("none", alloc, cfg),
         }
     }
 }
 
-impl Smr for LeakSmr {
+impl RawSmr for LeakSmr {
     fn begin_op(&self, tid: Tid) {
         self.common.relief(tid);
     }
@@ -78,8 +78,16 @@ impl Smr for LeakSmr {
         self.common.stats.reset();
     }
 
-    fn name(&self) -> String {
-        "none".to_string()
+    fn name(&self) -> &str {
+        self.common.name()
+    }
+
+    fn max_threads(&self) -> usize {
+        self.common.n_threads()
+    }
+
+    fn local(&self, _tid: Tid) -> SchemeLocal {
+        SchemeLocal::passive()
     }
 
     fn kind(&self) -> SmrKind {

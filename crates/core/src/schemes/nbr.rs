@@ -6,7 +6,7 @@
 //! Operations have two phases. In the *read phase* a thread traverses with
 //! **no** per-pointer protection (epoch-cheap reads). Before its first
 //! write to shared memory it publishes the handful of pointers it will
-//! still dereference ([`crate::Smr::enter_write_phase`]) and becomes
+//! still dereference ([`crate::RawSmr::enter_write_phase`]) and becomes
 //! immune. A thread whose limbo bag fills *neutralizes* all readers: each
 //! read-phase thread abandons its operation and restarts from the root,
 //! dropping every unprotected pointer. The reclaimer then frees everything
@@ -23,7 +23,7 @@
 //!
 //! Real NBR delivers neutralization via POSIX signals + `siglongjmp`. Rust
 //! has no safe signal-longjmp, so readers instead **poll** a per-thread
-//! request counter at every protected hop ([`crate::Smr::poll_restart`])
+//! request counter at every protected hop ([`crate::RawSmr::poll_restart`])
 //! and acknowledge before restarting. The reclaimer waits for each thread
 //! to (a) acknowledge, (b) be in its write phase (reservations readable),
 //! or (c) be outside any operation. Delivery latency changes from "signal"
@@ -46,7 +46,7 @@ use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
 use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Smr, SmrKind};
+use crate::{RawSmr, SchemeLocal, SmrKind};
 
 use epic_alloc::{PoolAllocator, Tid};
 use epic_timeline::EventKind;
@@ -123,7 +123,7 @@ impl NbrSmr {
                 last_seen_request: 0,
                 restarts: 0,
             }),
-            common: SchemeCommon::new(alloc, cfg),
+            common: SchemeCommon::new(if plus { "nbr+" } else { "nbr" }, alloc, cfg),
         }
     }
 
@@ -207,7 +207,7 @@ impl NbrSmr {
     }
 }
 
-impl Smr for NbrSmr {
+impl RawSmr for NbrSmr {
     fn begin_op(&self, tid: Tid) {
         self.common.relief(tid);
         let sh = &self.shared[tid];
@@ -343,9 +343,18 @@ impl Smr for NbrSmr {
         self.common.stats.reset();
     }
 
-    fn name(&self) -> String {
-        self.common
-            .scheme_name(if self.plus { "nbr+" } else { "nbr" })
+    fn name(&self) -> &str {
+        self.common.name()
+    }
+
+    fn max_threads(&self) -> usize {
+        self.common.n_threads()
+    }
+
+    fn local(&self, tid: Tid) -> SchemeLocal {
+        // SAFETY: the shared per-thread cells are owned by self (boxed,
+        // stable addresses) and outlive every handle via the Arc.
+        unsafe { SchemeLocal::restart_poll(&self.shared[tid].request) }
     }
 
     fn kind(&self) -> SmrKind {

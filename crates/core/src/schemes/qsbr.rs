@@ -12,7 +12,7 @@ use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
 use crate::schemes::EpochBag;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Smr, SmrKind};
+use crate::{RawSmr, SchemeLocal, SmrKind};
 
 use epic_alloc::{PoolAllocator, Tid};
 use epic_util::{CachePadded, TidSlots};
@@ -43,7 +43,7 @@ impl QsbrSmr {
     pub fn new(alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Self {
         let n = cfg.max_threads;
         QsbrSmr {
-            common: SchemeCommon::new(alloc, cfg),
+            common: SchemeCommon::new("qsbr", alloc, cfg),
             global_epoch: AtomicU64::new(2),
             announce: (0..n)
                 .map(|_| CachePadded::new(AtomicU64::new(2)))
@@ -89,7 +89,7 @@ impl QsbrSmr {
     }
 }
 
-impl Smr for QsbrSmr {
+impl RawSmr for QsbrSmr {
     fn begin_op(&self, tid: Tid) {
         self.common.relief(tid);
         // SAFETY: tid-exclusivity contract.
@@ -171,8 +171,16 @@ impl Smr for QsbrSmr {
         self.common.stats.reset();
     }
 
-    fn name(&self) -> String {
-        self.common.scheme_name("qsbr")
+    fn name(&self) -> &str {
+        self.common.name()
+    }
+
+    fn max_threads(&self) -> usize {
+        self.common.n_threads()
+    }
+
+    fn local(&self, _tid: Tid) -> SchemeLocal {
+        SchemeLocal::passive()
     }
 
     fn kind(&self) -> SmrKind {

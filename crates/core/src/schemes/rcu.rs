@@ -11,7 +11,7 @@ use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
 use crate::schemes::EpochBag;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Smr, SmrKind};
+use crate::{RawSmr, SchemeLocal, SmrKind};
 
 use epic_alloc::{PoolAllocator, Tid};
 use epic_util::{CachePadded, TidSlots};
@@ -40,7 +40,7 @@ impl RcuSmr {
     pub fn new(alloc: Arc<dyn PoolAllocator>, cfg: SmrConfig) -> Self {
         let n = cfg.max_threads;
         RcuSmr {
-            common: SchemeCommon::new(alloc, cfg),
+            common: SchemeCommon::new("rcu", alloc, cfg),
             global_epoch: AtomicU64::new(2),
             announce: (0..n)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
@@ -88,7 +88,7 @@ impl RcuSmr {
     }
 }
 
-impl Smr for RcuSmr {
+impl RawSmr for RcuSmr {
     fn begin_op(&self, tid: Tid) {
         self.common.relief(tid);
         let e = self.global_epoch.load(Ordering::SeqCst);
@@ -180,8 +180,16 @@ impl Smr for RcuSmr {
         self.common.stats.reset();
     }
 
-    fn name(&self) -> String {
-        self.common.scheme_name("rcu")
+    fn name(&self) -> &str {
+        self.common.name()
+    }
+
+    fn max_threads(&self) -> usize {
+        self.common.n_threads()
+    }
+
+    fn local(&self, _tid: Tid) -> SchemeLocal {
+        SchemeLocal::passive()
     }
 
     fn kind(&self) -> SmrKind {

@@ -28,7 +28,7 @@ use crate::common::SchemeCommon;
 use crate::config::{FreeMode, SmrConfig};
 use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Smr, SmrKind};
+use crate::{RawSmr, SchemeLocal, SmrKind};
 
 use epic_alloc::{PoolAllocator, Tid};
 use epic_timeline::EventKind;
@@ -76,8 +76,13 @@ impl TokenSmr {
             .map(|i| CachePadded::new(AtomicU64::new(u64::from(i == 0))))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let base = match variant {
+            TokenVariant::Naive => "token_naive",
+            TokenVariant::PassFirst => "token_passfirst",
+            TokenVariant::Periodic => "token",
+        };
         TokenSmr {
-            common: SchemeCommon::new(alloc, cfg),
+            common: SchemeCommon::new(base, alloc, cfg),
             variant,
             tokens,
             detached: (0..n)
@@ -210,7 +215,7 @@ impl TokenSmr {
     }
 }
 
-impl Smr for TokenSmr {
+impl RawSmr for TokenSmr {
     fn begin_op(&self, tid: Tid) {
         self.common.relief(tid);
         // SAFETY: tid-exclusivity contract.
@@ -284,13 +289,16 @@ impl Smr for TokenSmr {
         self.common.stats.reset();
     }
 
-    fn name(&self) -> String {
-        let base = match self.variant {
-            TokenVariant::Naive => "token_naive",
-            TokenVariant::PassFirst => "token_passfirst",
-            TokenVariant::Periodic => "token",
-        };
-        self.common.scheme_name(base)
+    fn name(&self) -> &str {
+        self.common.name()
+    }
+
+    fn max_threads(&self) -> usize {
+        self.common.n_threads()
+    }
+
+    fn local(&self, _tid: Tid) -> SchemeLocal {
+        SchemeLocal::passive()
     }
 
     fn kind(&self) -> SmrKind {

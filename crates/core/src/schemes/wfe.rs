@@ -23,7 +23,7 @@ use crate::common::SchemeCommon;
 use crate::config::SmrConfig;
 use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
-use crate::{Smr, SmrKind};
+use crate::{RawSmr, SchemeLocal, SmrKind};
 
 use epic_alloc::block;
 use epic_alloc::{PoolAllocator, Tid};
@@ -65,7 +65,7 @@ impl WfeSmr {
                 bag: RetiredList::new(),
                 retires_since_tick: 0,
             }),
-            common: SchemeCommon::new(alloc, cfg),
+            common: SchemeCommon::new("wfe", alloc, cfg),
         }
     }
 
@@ -100,7 +100,7 @@ impl WfeSmr {
     }
 }
 
-impl Smr for WfeSmr {
+impl RawSmr for WfeSmr {
     fn begin_op(&self, tid: Tid) {
         self.common.relief(tid);
     }
@@ -190,8 +190,23 @@ impl Smr for WfeSmr {
         self.common.stats.reset();
     }
 
-    fn name(&self) -> String {
-        self.common.scheme_name("wfe")
+    fn name(&self) -> &str {
+        self.common.name()
+    }
+
+    fn max_threads(&self) -> usize {
+        self.common.n_threads()
+    }
+
+    fn local(&self, tid: Tid) -> SchemeLocal {
+        // SAFETY: era clock and slot array are owned by self (boxed /
+        // inline, stable addresses) and outlive every handle via the Arc.
+        unsafe {
+            SchemeLocal::era_slots_2wide(
+                &self.era,
+                &self.slots[tid * self.k * 2..(tid + 1) * self.k * 2],
+            )
+        }
     }
 
     fn kind(&self) -> SmrKind {

@@ -141,22 +141,18 @@ fn stress(kind: SmrKind, mode: FreeMode, threads: usize, ops_per_thread: usize) 
 
     std::thread::scope(|scope| {
         for tid in 0..threads {
-            let smr = Arc::clone(&smr);
-            let alloc = Arc::clone(&alloc);
+            let smr = smr.clone();
             scope.spawn(move || {
+                let handle = smr.register(tid);
                 for i in 0..ops_per_thread {
-                    smr.begin_op(tid);
-                    let _ = smr.poll_restart(tid);
+                    let guard = handle.begin_op();
+                    let _ = guard.poll_restart();
                     let size = 32 + (i % 3) * 64; // three size classes in flight
-                    let p = smr
-                        .try_pool_alloc(tid, size)
-                        .unwrap_or_else(|| alloc.alloc(tid, size));
-                    smr.on_alloc(tid, p);
-                    smr.enter_write_phase(tid, &[p.as_ptr() as usize]);
-                    smr.retire(tid, p);
-                    smr.end_op(tid);
+                    let p = guard.alloc(size); // pool-alloc + on_alloc fused
+                    guard.enter_write_phase(&[p.as_ptr() as usize]);
+                    guard.retire(p);
                 }
-                smr.detach(tid);
+                handle.detach();
             });
         }
     });

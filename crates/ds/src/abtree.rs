@@ -22,9 +22,9 @@
 //! logarithmic in expectation under uniform workloads, and the
 //! retire/alloc stream shape is preserved.
 
-use crate::{alloc_node, dealloc_node, ConcurrentMap, MAX_KEY};
-use epic_alloc::{PoolAllocator, Tid};
-use epic_smr::Smr;
+use crate::{alloc_node, dealloc_node, free_node_quiescent, ConcurrentMap, MAX_KEY};
+use epic_alloc::PoolAllocator;
+use epic_smr::{OpGuard, Restart, Smr, SmrHandle};
 use epic_util::TicketLock;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -133,11 +133,10 @@ struct Window {
 
 /// Concurrent (a,b)-tree. See module docs.
 pub struct AbTree {
-    smr: Arc<dyn Smr>,
+    smr: Smr,
     alloc: Arc<dyn PoolAllocator>,
     /// Permanent one-child internal sentinel; its slot 0 is the tree.
     entry: usize,
-    needs_validate: bool,
 }
 
 // SAFETY: shared state is atomics + SMR-protected nodes.
@@ -146,57 +145,59 @@ unsafe impl Sync for AbTree {}
 
 impl AbTree {
     /// Builds an empty tree over `smr`'s allocator.
-    pub fn new(smr: Arc<dyn Smr>) -> Self {
+    ///
+    /// Briefly registers tid 0 to allocate the sentinels.
+    ///
+    /// # Panics
+    /// If another [`epic_smr::SmrHandle`] for tid 0 is live at call time
+    /// (register after construction, or drop the handle first).
+    pub fn new(smr: Smr) -> Self {
         let alloc = Arc::clone(smr.allocator());
-        let mut leaf = Node::blank(true);
-        leaf.len = 0;
-        // SAFETY: POD nodes.
-        let leaf_addr = unsafe { alloc_node(&alloc, &smr, 0, leaf) as usize };
-        let mut entry = Node::blank(false);
-        entry.len = 1;
-        entry.slots[0] = AtomicUsize::new(leaf_addr);
-        // SAFETY: POD nodes.
-        let entry_addr = unsafe { alloc_node(&alloc, &smr, 0, entry) as usize };
-        let needs_validate = smr.needs_validate();
+        let entry_addr = {
+            let handle = smr.register(0);
+            let guard = handle.begin_op();
+            let mut leaf = Node::blank(true);
+            leaf.len = 0;
+            // SAFETY: POD nodes.
+            let leaf_addr = unsafe { alloc_node(&guard, leaf) as usize };
+            let mut entry = Node::blank(false);
+            entry.len = 1;
+            entry.slots[0] = AtomicUsize::new(leaf_addr);
+            // SAFETY: POD nodes.
+            unsafe { alloc_node(&guard, entry) as usize }
+        };
         AbTree {
             smr,
             alloc,
             entry: entry_addr,
-            needs_validate,
         }
     }
 
-    /// Protected hop (same discipline as the other trees).
+    /// Protected hop: one [`OpGuard::protect_load`] plus the copy-on-write
+    /// staleness check a validating scheme needs (a marked parent may
+    /// already be retired, so its slot content is garbage-in-waiting).
     #[inline]
-    fn read_child(&self, tid: Tid, slot: usize, parent: &Node, idx: usize) -> Result<usize, ()> {
-        let link = &parent.slots[idx];
-        let mut c = link.load(Ordering::Acquire);
-        if self.needs_validate {
-            loop {
-                self.smr.protect(tid, slot, c);
-                let again = link.load(Ordering::Acquire);
-                if again == c {
-                    break;
-                }
-                c = again;
-            }
-            if parent.is_marked() {
-                return Err(());
-            }
-        }
-        if self.smr.poll_restart(tid) {
-            return Err(());
+    fn read_child(
+        &self,
+        g: &OpGuard<'_>,
+        slot: usize,
+        parent: &Node,
+        idx: usize,
+    ) -> Result<usize, Restart> {
+        let c = g.protect_load(slot, &parent.slots[idx])?;
+        if g.validating() && parent.is_marked() {
+            return Err(Restart);
         }
         Ok(c)
     }
 
     /// Descends to the leaf routing `key`.
-    fn search(&self, tid: Tid, key: u64) -> Result<Window, ()> {
+    fn search(&self, guard: &OpGuard<'_>, key: u64) -> Result<Window, Restart> {
         let mut g = 0usize;
         let mut p = self.entry;
         let mut p_idx = 0usize;
         // SAFETY: entry is a permanent sentinel.
-        let mut l = self.read_child(tid, 0, unsafe { node(p) }, 0)?;
+        let mut l = self.read_child(guard, 0, unsafe { node(p) }, 0)?;
         let mut l_idx = 0usize;
         let mut depth = 1usize;
         loop {
@@ -212,7 +213,7 @@ impl AbTree {
                 });
             }
             let idx = l_node.child_index(key);
-            let next = self.read_child(tid, depth % 3, l_node, idx)?;
+            let next = self.read_child(guard, depth % 3, l_node, idx)?;
             g = p;
             p = l;
             p_idx = l_idx;
@@ -223,16 +224,16 @@ impl AbTree {
     }
 
     /// Allocates a published-ready node.
-    fn publish(&self, tid: Tid, n: Node) -> usize {
+    fn publish(&self, g: &OpGuard<'_>, n: Node) -> usize {
         // SAFETY: POD node; callers publish it or return it via
         // `discard`.
-        unsafe { alloc_node(&self.alloc, &self.smr, tid, n) as usize }
+        unsafe { alloc_node(g, n) as usize }
     }
 
     /// Returns an unpublished node to the allocator (validation failure).
-    fn discard(&self, tid: Tid, addr: usize) {
+    fn discard(&self, g: &OpGuard<'_>, addr: usize) {
         // SAFETY: `addr` came from `publish` and was never linked.
-        unsafe { dealloc_node(&self.alloc, tid, addr as *mut Node) };
+        unsafe { dealloc_node(g, addr as *mut Node) };
     }
 
     /// Leaf copy with `key → value` inserted (len < CAP).
@@ -411,21 +412,18 @@ impl AbTree {
         ok
     }
 
-    fn retire2(&self, tid: Tid, a: usize, b: usize) {
+    fn retire2(&self, g: &OpGuard<'_>, a: usize, b: usize) {
         // SAFETY: both unlinked; SMR delays the frees.
         unsafe {
-            self.smr
-                .retire(tid, std::ptr::NonNull::new_unchecked(a as *mut u8));
-            self.smr
-                .retire(tid, std::ptr::NonNull::new_unchecked(b as *mut u8));
+            g.retire(std::ptr::NonNull::new_unchecked(a as *mut u8));
+            g.retire(std::ptr::NonNull::new_unchecked(b as *mut u8));
         }
     }
 
-    fn retire1(&self, tid: Tid, a: usize) {
+    fn retire1(&self, g: &OpGuard<'_>, a: usize) {
         // SAFETY: unlinked; SMR delays the free.
         unsafe {
-            self.smr
-                .retire(tid, std::ptr::NonNull::new_unchecked(a as *mut u8));
+            g.retire(std::ptr::NonNull::new_unchecked(a as *mut u8));
         }
     }
 
@@ -487,16 +485,16 @@ impl AbTree {
             }
         }
         // SAFETY: each reachable node freed exactly once.
-        unsafe { dealloc_node(&self.alloc, 0, addr as *mut Node) };
+        unsafe { free_node_quiescent(&self.alloc, addr as *mut Node) };
     }
 }
 
 impl ConcurrentMap for AbTree {
-    fn insert(&self, tid: Tid, key: u64, value: u64) -> bool {
+    fn insert(&self, h: &SmrHandle, key: u64, value: u64) -> bool {
         assert!(key <= MAX_KEY);
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(w) = self.search(tid, key) else {
+            let Ok(w) = self.search(&guard, key) else {
                 continue;
             };
             // SAFETY: protected by traversal.
@@ -507,17 +505,17 @@ impl ConcurrentMap for AbTree {
 
             if l_node.len() < CAP {
                 // Simple path: replace the leaf (1 alloc, 1 retire).
-                self.smr.enter_write_phase(tid, &[w.p, w.l]);
-                let fresh = self.publish(tid, self.leaf_copy_insert(l_node, key, value));
+                guard.enter_write_phase(&[w.p, w.l]);
+                let fresh = self.publish(&guard, self.leaf_copy_insert(l_node, key, value));
                 if !self.lock_parent(p_node, w.l_idx, w.l) {
-                    self.discard(tid, fresh);
-                    self.smr.begin_op(tid);
+                    self.discard(&guard, fresh);
+                    guard.restart();
                     continue;
                 }
                 l_node.set_marked();
                 p_node.slots[w.l_idx].store(fresh, Ordering::Release);
                 p_node.lock.unlock();
-                self.retire1(tid, w.l);
+                self.retire1(&guard, w.l);
                 break true;
             }
 
@@ -527,39 +525,39 @@ impl ConcurrentMap for AbTree {
                 // Overflow: a fresh two-child internal absorbs the split
                 // (parent keys unchanged, so only the parent lock is
                 // needed).
-                self.smr.enter_write_phase(tid, &[w.p, w.l]);
-                let l_addr = self.publish(tid, left);
-                let r_addr = self.publish(tid, right);
+                guard.enter_write_phase(&[w.p, w.l]);
+                let l_addr = self.publish(&guard, left);
+                let r_addr = self.publish(&guard, right);
                 let mut np = Node::blank(false);
                 np.len = 2;
                 np.keys[0] = sep;
                 np.slots[0] = AtomicUsize::new(l_addr);
                 np.slots[1] = AtomicUsize::new(r_addr);
-                let np_addr = self.publish(tid, np);
+                let np_addr = self.publish(&guard, np);
                 if !self.lock_parent(p_node, w.l_idx, w.l) {
-                    self.discard(tid, np_addr);
-                    self.discard(tid, l_addr);
-                    self.discard(tid, r_addr);
-                    self.smr.begin_op(tid);
+                    self.discard(&guard, np_addr);
+                    self.discard(&guard, l_addr);
+                    self.discard(&guard, r_addr);
+                    guard.restart();
                     continue;
                 }
                 l_node.set_marked();
                 p_node.slots[w.l_idx].store(np_addr, Ordering::Release);
                 p_node.lock.unlock();
-                self.retire1(tid, w.l);
+                self.retire1(&guard, w.l);
                 break true;
             }
 
             // Absorb: copy the parent with the split spliced in (2 retires).
             // SAFETY: protected by traversal; g != 0 because p != entry.
             let g_node = unsafe { node(w.g) };
-            self.smr.enter_write_phase(tid, &[w.g, w.p, w.l]);
-            let l_addr = self.publish(tid, left);
-            let r_addr = self.publish(tid, right);
+            guard.enter_write_phase(&[w.g, w.p, w.l]);
+            let l_addr = self.publish(&guard, left);
+            let r_addr = self.publish(&guard, right);
             if !self.lock_two(g_node, w.p_idx, w.p, p_node, w.l_idx, w.l) {
-                self.discard(tid, l_addr);
-                self.discard(tid, r_addr);
-                self.smr.begin_op(tid);
+                self.discard(&guard, l_addr);
+                self.discard(&guard, r_addr);
+                guard.restart();
                 continue;
             }
             // The parent copy MUST be built while p's lock is held: p's
@@ -567,7 +565,7 @@ impl ConcurrentMap for AbTree {
             // would let a concurrent slot update vanish — resurrecting a
             // retired child (use-after-free).
             let p_new = self.publish(
-                tid,
+                &guard,
                 self.internal_copy_split(p_node, w.l_idx, l_addr, sep, r_addr),
             );
             p_node.set_marked();
@@ -575,18 +573,18 @@ impl ConcurrentMap for AbTree {
             g_node.slots[w.p_idx].store(p_new, Ordering::Release);
             p_node.lock.unlock();
             g_node.lock.unlock();
-            self.retire2(tid, w.p, w.l);
+            self.retire2(&guard, w.p, w.l);
             break true;
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
-    fn remove(&self, tid: Tid, key: u64) -> bool {
+    fn remove(&self, h: &SmrHandle, key: u64) -> bool {
         assert!(key <= MAX_KEY);
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(w) = self.search(tid, key) else {
+            let Ok(w) = self.search(&guard, key) else {
                 continue;
             };
             // SAFETY: protected by traversal.
@@ -598,28 +596,28 @@ impl ConcurrentMap for AbTree {
             if l_node.len() > 1 || w.p == self.entry {
                 // Replace the leaf (possibly by an empty one when it is the
                 // root leaf).
-                self.smr.enter_write_phase(tid, &[w.p, w.l]);
-                let fresh = self.publish(tid, self.leaf_copy_remove(l_node, pos));
+                guard.enter_write_phase(&[w.p, w.l]);
+                let fresh = self.publish(&guard, self.leaf_copy_remove(l_node, pos));
                 if !self.lock_parent(p_node, w.l_idx, w.l) {
-                    self.discard(tid, fresh);
-                    self.smr.begin_op(tid);
+                    self.discard(&guard, fresh);
+                    guard.restart();
                     continue;
                 }
                 l_node.set_marked();
                 p_node.slots[w.l_idx].store(fresh, Ordering::Release);
                 p_node.lock.unlock();
-                self.retire1(tid, w.l);
+                self.retire1(&guard, w.l);
                 break true;
             }
 
             // Leaf empties: restructure the parent.
             // SAFETY: g != 0 because p != entry.
             let g_node = unsafe { node(w.g) };
-            self.smr.enter_write_phase(tid, &[w.g, w.p, w.l]);
+            guard.enter_write_phase(&[w.g, w.p, w.l]);
             if p_node.len() == 2 {
                 // Collapse: the sibling subtree replaces the parent.
                 if !self.lock_two(g_node, w.p_idx, w.p, p_node, w.l_idx, w.l) {
-                    self.smr.begin_op(tid);
+                    guard.restart();
                     continue;
                 }
                 let sibling = p_node.slots[1 - w.l_idx].load(Ordering::Acquire);
@@ -628,33 +626,33 @@ impl ConcurrentMap for AbTree {
                 g_node.slots[w.p_idx].store(sibling, Ordering::Release);
                 p_node.lock.unlock();
                 g_node.lock.unlock();
-                self.retire2(tid, w.p, w.l);
+                self.retire2(&guard, w.p, w.l);
                 break true;
             }
             // p.len > 2: copy the parent without this child.
             if !self.lock_two(g_node, w.p_idx, w.p, p_node, w.l_idx, w.l) {
-                self.smr.begin_op(tid);
+                guard.restart();
                 continue;
             }
             // Built under p's lock — see the split path for why.
-            let p_new = self.publish(tid, self.internal_copy_remove(p_node, w.l_idx));
+            let p_new = self.publish(&guard, self.internal_copy_remove(p_node, w.l_idx));
             p_node.set_marked();
             l_node.set_marked();
             g_node.slots[w.p_idx].store(p_new, Ordering::Release);
             p_node.lock.unlock();
             g_node.lock.unlock();
-            self.retire2(tid, w.p, w.l);
+            self.retire2(&guard, w.p, w.l);
             break true;
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
-    fn get(&self, tid: Tid, key: u64) -> Option<u64> {
+    fn get(&self, h: &SmrHandle, key: u64) -> Option<u64> {
         assert!(key <= MAX_KEY);
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(w) = self.search(tid, key) else {
+            let Ok(w) = self.search(&guard, key) else {
                 continue;
             };
             // SAFETY: protected by traversal; leaves are immutable.
@@ -663,7 +661,7 @@ impl ConcurrentMap for AbTree {
                 .find(key)
                 .map(|pos| l_node.slots[pos].load(Ordering::Acquire) as u64);
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
@@ -698,7 +696,7 @@ impl ConcurrentMap for AbTree {
         "abtree"
     }
 
-    fn smr(&self) -> &Arc<dyn Smr> {
+    fn smr(&self) -> &Smr {
         &self.smr
     }
 
@@ -734,15 +732,16 @@ mod tests {
     #[test]
     fn sequential_semantics() {
         let t = tree(SmrKind::Debra, 1);
-        assert!(t.insert(0, 10, 100));
-        assert!(!t.insert(0, 10, 101));
-        assert!(t.insert(0, 20, 200));
-        assert!(t.insert(0, 5, 50));
-        assert_eq!(t.get(0, 10), Some(100));
-        assert_eq!(t.get(0, 99), None);
+        let h = t.smr().register(0);
+        assert!(t.insert(&h, 10, 100));
+        assert!(!t.insert(&h, 10, 101));
+        assert!(t.insert(&h, 20, 200));
+        assert!(t.insert(&h, 5, 50));
+        assert_eq!(t.get(&h, 10), Some(100));
+        assert_eq!(t.get(&h, 99), None);
         assert_eq!(t.collect_keys(), vec![5, 10, 20]);
-        assert!(t.remove(0, 10));
-        assert!(!t.remove(0, 10));
+        assert!(t.remove(&h, 10));
+        assert!(!t.remove(&h, 10));
         assert_eq!(t.collect_keys(), vec![5, 20]);
         t.check_invariants().unwrap();
     }
@@ -750,6 +749,7 @@ mod tests {
     #[test]
     fn splits_preserve_order_and_routing() {
         let t = tree(SmrKind::Debra, 1);
+        let h = t.smr().register(0);
         // Insert far more than CAP keys in shuffled order to force splits
         // at multiple levels.
         let mut keys: Vec<u64> = (0..500).map(|i| (i * 7919) % 1000).collect();
@@ -758,14 +758,14 @@ mod tests {
         let mut shuffled = keys.clone();
         shuffled.reverse();
         for (i, &k) in shuffled.iter().enumerate() {
-            assert!(t.insert(0, k, k * 2), "insert {k} at step {i}");
+            assert!(t.insert(&h, k, k * 2), "insert {k} at step {i}");
             if i % 64 == 0 {
                 t.check_invariants().unwrap();
             }
         }
         assert_eq!(t.collect_keys(), keys);
         for &k in &keys {
-            assert_eq!(t.get(0, k), Some(k * 2));
+            assert_eq!(t.get(&h, k), Some(k * 2));
         }
         t.check_invariants().unwrap();
     }
@@ -773,12 +773,13 @@ mod tests {
     #[test]
     fn deletes_shrink_back_to_empty() {
         let t = tree(SmrKind::Debra, 1);
+        let h = t.smr().register(0);
         let keys: Vec<u64> = (0..300).collect();
         for &k in &keys {
-            t.insert(0, k, k);
+            t.insert(&h, k, k);
         }
         for (i, &k) in keys.iter().enumerate() {
-            assert!(t.remove(0, k), "remove {k}");
+            assert!(t.remove(&h, k), "remove {k}");
             if i % 50 == 0 {
                 t.check_invariants().unwrap();
             }
@@ -786,8 +787,8 @@ mod tests {
         assert_eq!(t.size(), 0);
         t.check_invariants().unwrap();
         // And it still works afterwards.
-        assert!(t.insert(0, 42, 1));
-        assert_eq!(t.get(0, 42), Some(1));
+        assert!(t.insert(&h, 42, 1));
+        assert_eq!(t.get(&h, 42), Some(1));
     }
 
     #[test]
@@ -795,17 +796,18 @@ mod tests {
         // The paper's §3 claim, as a test: steady-state inserts/deletes
         // allocate 1-2 nodes per op on average.
         let t = tree(SmrKind::Debra, 1);
+        let h = t.smr().register(0);
         for k in 0..200 {
-            t.insert(0, k, k);
+            t.insert(&h, k, k);
         }
         let before = t.alloc.snapshot().totals.allocs;
         let mut ops = 0u64;
         for round in 0..200u64 {
             let k = (round * 37) % 200;
             if round % 2 == 0 {
-                t.remove(0, k);
+                t.remove(&h, k);
             } else {
-                t.insert(0, k, k);
+                t.insert(&h, k, k);
             }
             ops += 1;
         }
@@ -819,39 +821,28 @@ mod tests {
 
     #[test]
     fn concurrent_stress_every_scheme() {
-        for kind in [
-            SmrKind::None,
-            SmrKind::Qsbr,
-            SmrKind::Rcu,
-            SmrKind::Debra,
-            SmrKind::TokenPeriodic,
-            SmrKind::Hp,
-            SmrKind::He,
-            SmrKind::Ibr,
-            SmrKind::Nbr,
-            SmrKind::NbrPlus,
-            SmrKind::Wfe,
-        ] {
+        for kind in SmrKind::ALL {
             let t = Arc::new(tree(kind, 4));
             let handles: Vec<_> = (0..4usize)
                 .map(|tid| {
                     let t = Arc::clone(&t);
                     std::thread::spawn(move || {
+                        let h = t.smr().register(tid);
                         let base = tid as u64;
                         for round in 0..300u64 {
                             for i in 0..8u64 {
                                 let k = base + 4 * (i + 8 * (round % 3));
                                 if round % 2 == 0 {
-                                    t.insert(tid, k, k + 1);
+                                    t.insert(&h, k, k + 1);
                                 } else {
-                                    t.remove(tid, k);
+                                    t.remove(&h, k);
                                 }
                             }
                             for i in 0..8u64 {
-                                let _ = t.get(tid, i * 13 % 97);
+                                let _ = t.get(&h, i * 13 % 97);
                             }
                         }
-                        t.smr().detach(tid);
+                        h.detach();
                     })
                 })
                 .collect();
@@ -884,11 +875,12 @@ mod tests {
         let cfg = SmrConfig::new(1).with_bag_cap(16);
         {
             let t = AbTree::new(build_smr(SmrKind::Debra, Arc::clone(&alloc), cfg));
+            let h = t.smr().register(0);
             for k in 0..300 {
-                t.insert(0, k, k);
+                t.insert(&h, k, k);
             }
             for k in 100..200 {
-                t.remove(0, k);
+                t.remove(&h, k);
             }
         }
         let snap = alloc.snapshot();

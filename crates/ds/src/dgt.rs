@@ -17,9 +17,9 @@
 //! real parent and grandparent and the update paths have no root special
 //! cases.
 
-use crate::{alloc_node, dealloc_node, ConcurrentMap, MAX_KEY};
-use epic_alloc::{PoolAllocator, Tid};
-use epic_smr::Smr;
+use crate::{alloc_node, free_node_quiescent, ConcurrentMap, MAX_KEY};
+use epic_alloc::PoolAllocator;
+use epic_smr::{OpGuard, Restart, Smr, SmrHandle};
 use epic_util::TicketLock;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -91,10 +91,9 @@ struct Window {
 
 /// DGT external BST. See module docs.
 pub struct DgtTree {
-    smr: Arc<dyn Smr>,
+    smr: Smr,
     alloc: Arc<dyn PoolAllocator>,
     g0: usize,
-    needs_validate: bool,
 }
 
 // SAFETY: all shared state is atomics + SMR-protected nodes.
@@ -103,72 +102,66 @@ unsafe impl Sync for DgtTree {}
 
 impl DgtTree {
     /// Builds an empty tree over `smr`'s allocator.
-    pub fn new(smr: Arc<dyn Smr>) -> Self {
-        let alloc = Arc::clone(smr.allocator());
-        let mk = |key: u64, left: usize, right: usize| -> usize {
-            // SAFETY: Node is POD; sentinels live for the tree's lifetime.
-            unsafe {
-                alloc_node(
-                    &alloc,
-                    &smr,
-                    0,
-                    Node {
-                        key,
-                        value: 0,
-                        left: AtomicUsize::new(left),
-                        right: AtomicUsize::new(right),
-                        lock: TicketLock::new(),
-                        marked: AtomicUsize::new(0),
-                    },
-                ) as usize
-            }
+    ///
+    /// Briefly registers tid 0 to allocate the sentinels.
+    ///
+    /// # Panics
+    /// If another [`epic_smr::SmrHandle`] for tid 0 is live at call time
+    /// (register after construction, or drop the handle first).
+    pub fn new(smr: Smr) -> Self {
+        let g0 = {
+            let handle = smr.register(0);
+            let guard = handle.begin_op();
+            let mk = |key: u64, left: usize, right: usize| -> usize {
+                // SAFETY: Node is POD; sentinels live for the tree's
+                // lifetime.
+                unsafe {
+                    alloc_node(
+                        &guard,
+                        Node {
+                            key,
+                            value: 0,
+                            left: AtomicUsize::new(left),
+                            right: AtomicUsize::new(right),
+                            lock: TicketLock::new(),
+                            marked: AtomicUsize::new(0),
+                        },
+                    ) as usize
+                }
+            };
+            let empty_leaf = mk(u64::MAX, 0, 0);
+            let right_leaf_p = mk(u64::MAX, 0, 0);
+            let right_leaf_g = mk(u64::MAX, 0, 0);
+            let p0 = mk(u64::MAX, empty_leaf, right_leaf_p);
+            mk(u64::MAX, p0, right_leaf_g)
         };
-        let empty_leaf = mk(u64::MAX, 0, 0);
-        let right_leaf_p = mk(u64::MAX, 0, 0);
-        let right_leaf_g = mk(u64::MAX, 0, 0);
-        let p0 = mk(u64::MAX, empty_leaf, right_leaf_p);
-        let g0 = mk(u64::MAX, p0, right_leaf_g);
-        let needs_validate = smr.needs_validate();
-        DgtTree {
-            smr,
-            alloc,
-            g0,
-            needs_validate,
-        }
+        let alloc = Arc::clone(smr.allocator());
+        DgtTree { smr, alloc, g0 }
     }
 
-    /// One protected hop: load `parent.child(dir)`, publish protection in
-    /// `slot`, validate the link, and mark-check the parent. `Err(())`
-    /// means restart the operation.
+    /// One protected hop: [`OpGuard::protect_load`] over `parent.child(dir)`
+    /// plus the mark check a validating scheme needs — if the parent is
+    /// already unlinked, `c` may be retired despite the stable link (the
+    /// protection was published too late). `Err(Restart)` means restart
+    /// the operation.
     #[inline]
-    fn read_child(&self, tid: Tid, slot: usize, parent: &Node, go_left: bool) -> Result<usize, ()> {
-        let link = parent.child(go_left);
-        let mut c = link.load(Ordering::Acquire);
-        if self.needs_validate {
-            loop {
-                self.smr.protect(tid, slot, c);
-                let again = link.load(Ordering::Acquire);
-                if again == c {
-                    break;
-                }
-                c = again;
-            }
-            // Mark check: if the parent is already unlinked, `c` may be
-            // retired despite the stable link; the protection above would
-            // have been published too late. Restart.
-            if parent.is_marked() {
-                return Err(());
-            }
-        }
-        if self.smr.poll_restart(tid) {
-            return Err(());
+    fn read_child(
+        &self,
+        g: &OpGuard<'_>,
+        slot: usize,
+        parent: &Node,
+        go_left: bool,
+    ) -> Result<usize, Restart> {
+        let c = g.protect_load(slot, parent.child(go_left))?;
+        if g.validating() && parent.is_marked() {
+            return Err(Restart);
         }
         Ok(c)
     }
 
     /// Descends to the leaf for `key`, maintaining the (g, p, l) window.
-    /// `Err(())` means restart.
-    fn search(&self, tid: Tid, key: u64) -> Result<Window, ()> {
+    /// `Err(Restart)` means restart.
+    fn search(&self, guard: &OpGuard<'_>, key: u64) -> Result<Window, Restart> {
         // Sentinels are never retired, so the first two hops are safe to
         // read unprotected; still protect them for slot bookkeeping
         // simplicity.
@@ -176,10 +169,10 @@ impl DgtTree {
         // SAFETY: g0 is a permanent sentinel.
         let g_node = unsafe { node(g) };
         let mut p_left = true;
-        let mut p = self.read_child(tid, 0, g_node, true)?;
+        let mut p = self.read_child(guard, 0, g_node, true)?;
         let mut l_left = true;
         // SAFETY: p0 is protected by slot 0 (or permanent).
-        let mut l = self.read_child(tid, 1, unsafe { node(p) }, true)?;
+        let mut l = self.read_child(guard, 1, unsafe { node(p) }, true)?;
         let mut depth = 2usize;
         loop {
             // SAFETY: l is protected by the previous read_child.
@@ -194,7 +187,7 @@ impl DgtTree {
                 });
             }
             let go_left = key < l_node.key;
-            let next = self.read_child(tid, depth % 3, l_node, go_left)?;
+            let next = self.read_child(guard, depth % 3, l_node, go_left)?;
             g = p;
             p = l;
             p_left = l_left;
@@ -205,13 +198,11 @@ impl DgtTree {
     }
 
     /// Builds a fresh leaf.
-    fn make_leaf(&self, tid: Tid, key: u64, value: u64) -> usize {
+    fn make_leaf(&self, g: &OpGuard<'_>, key: u64, value: u64) -> usize {
         // SAFETY: POD node; published or explicitly deallocated by callers.
         unsafe {
             alloc_node(
-                &self.alloc,
-                &self.smr,
-                tid,
+                g,
                 Node {
                     key,
                     value,
@@ -271,16 +262,16 @@ impl DgtTree {
         // SAFETY: node came from this tree's allocator; freed exactly once
         // (drop walks each reachable node once; retired nodes were already
         // drained by quiesce_and_drain).
-        unsafe { dealloc_node(&self.alloc, 0, addr as *mut Node) };
+        unsafe { free_node_quiescent(&self.alloc, addr as *mut Node) };
     }
 }
 
 impl ConcurrentMap for DgtTree {
-    fn insert(&self, tid: Tid, key: u64, value: u64) -> bool {
+    fn insert(&self, h: &SmrHandle, key: u64, value: u64) -> bool {
         assert!(key <= MAX_KEY, "key space reserved for sentinels");
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(w) = self.search(tid, key) else {
+            let Ok(w) = self.search(&guard, key) else {
                 continue;
             };
             // SAFETY: protected by the traversal discipline.
@@ -288,16 +279,16 @@ impl ConcurrentMap for DgtTree {
             if l_node.key == key {
                 break false;
             }
-            self.smr.enter_write_phase(tid, &[w.p, w.l]);
+            guard.enter_write_phase(&[w.p, w.l]);
             p_node.lock.lock();
             let valid =
                 !p_node.is_marked() && p_node.child(w.l_left).load(Ordering::Acquire) == w.l;
             if !valid {
                 p_node.lock.unlock();
-                self.smr.begin_op(tid); // re-enter read phase (NBR) and re-tick
+                guard.restart(); // re-enter read phase (NBR) and re-tick
                 continue;
             }
-            let new_leaf = self.make_leaf(tid, key, value);
+            let new_leaf = self.make_leaf(&guard, key, value);
             let (nk, nl, nr) = if key < l_node.key {
                 (l_node.key, new_leaf, w.l)
             } else {
@@ -306,9 +297,7 @@ impl ConcurrentMap for DgtTree {
             // SAFETY: fresh POD node.
             let new_internal = unsafe {
                 alloc_node(
-                    &self.alloc,
-                    &self.smr,
-                    tid,
+                    &guard,
                     Node {
                         key: nk,
                         value: 0,
@@ -325,15 +314,15 @@ impl ConcurrentMap for DgtTree {
             p_node.lock.unlock();
             break true;
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
-    fn remove(&self, tid: Tid, key: u64) -> bool {
+    fn remove(&self, h: &SmrHandle, key: u64) -> bool {
         assert!(key <= MAX_KEY);
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(w) = self.search(tid, key) else {
+            let Ok(w) = self.search(&guard, key) else {
                 continue;
             };
             // SAFETY: protected by the traversal discipline.
@@ -341,7 +330,7 @@ impl ConcurrentMap for DgtTree {
             if l_node.key != key {
                 break false;
             }
-            self.smr.enter_write_phase(tid, &[w.g, w.p, w.l]);
+            guard.enter_write_phase(&[w.g, w.p, w.l]);
             g_node.lock.lock();
             p_node.lock.lock();
             let valid = !g_node.is_marked()
@@ -351,7 +340,7 @@ impl ConcurrentMap for DgtTree {
             if !valid {
                 p_node.lock.unlock();
                 g_node.lock.unlock();
-                self.smr.begin_op(tid);
+                guard.restart();
                 continue;
             }
             let sibling = p_node.child(!w.l_left).load(Ordering::Acquire);
@@ -364,22 +353,20 @@ impl ConcurrentMap for DgtTree {
             // SAFETY: both nodes are unlinked and unreachable from the
             // root; the SMR scheme delays the actual free.
             unsafe {
-                self.smr
-                    .retire(tid, std::ptr::NonNull::new_unchecked(w.p as *mut u8));
-                self.smr
-                    .retire(tid, std::ptr::NonNull::new_unchecked(w.l as *mut u8));
+                guard.retire(std::ptr::NonNull::new_unchecked(w.p as *mut u8));
+                guard.retire(std::ptr::NonNull::new_unchecked(w.l as *mut u8));
             }
             break true;
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
-    fn get(&self, tid: Tid, key: u64) -> Option<u64> {
+    fn get(&self, h: &SmrHandle, key: u64) -> Option<u64> {
         assert!(key <= MAX_KEY);
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(w) = self.search(tid, key) else {
+            let Ok(w) = self.search(&guard, key) else {
                 continue;
             };
             // SAFETY: protected by the traversal discipline.
@@ -389,7 +376,7 @@ impl ConcurrentMap for DgtTree {
             }
             break None;
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
@@ -424,7 +411,7 @@ impl ConcurrentMap for DgtTree {
         "dgttree"
     }
 
-    fn smr(&self) -> &Arc<dyn Smr> {
+    fn smr(&self) -> &Smr {
         &self.smr
     }
 
@@ -456,15 +443,16 @@ mod tests {
     #[test]
     fn sequential_semantics() {
         let t = tree(SmrKind::Debra, 1);
-        assert!(!t.contains(0, 5));
-        assert!(t.insert(0, 5, 50));
-        assert!(!t.insert(0, 5, 51), "duplicate insert");
-        assert_eq!(t.get(0, 5), Some(50));
-        assert!(t.insert(0, 3, 30));
-        assert!(t.insert(0, 8, 80));
+        let h = t.smr().register(0);
+        assert!(!t.contains(&h, 5));
+        assert!(t.insert(&h, 5, 50));
+        assert!(!t.insert(&h, 5, 51), "duplicate insert");
+        assert_eq!(t.get(&h, 5), Some(50));
+        assert!(t.insert(&h, 3, 30));
+        assert!(t.insert(&h, 8, 80));
         assert_eq!(t.collect_keys(), vec![3, 5, 8]);
-        assert!(t.remove(0, 5));
-        assert!(!t.remove(0, 5), "double remove");
+        assert!(t.remove(&h, 5));
+        assert!(!t.remove(&h, 5), "double remove");
         assert_eq!(t.collect_keys(), vec![3, 8]);
         t.check_invariants().unwrap();
     }
@@ -472,29 +460,31 @@ mod tests {
     #[test]
     fn empty_then_refill() {
         let t = tree(SmrKind::Rcu, 1);
+        let h = t.smr().register(0);
         for k in 0..64 {
-            assert!(t.insert(0, k, k));
+            assert!(t.insert(&h, k, k));
         }
         for k in 0..64 {
-            assert!(t.remove(0, k));
+            assert!(t.remove(&h, k));
         }
         assert_eq!(t.size(), 0);
         t.check_invariants().unwrap();
         for k in (0..64).rev() {
-            assert!(t.insert(0, k, k * 2));
+            assert!(t.insert(&h, k, k * 2));
         }
         assert_eq!(t.size(), 64);
-        assert_eq!(t.get(0, 10), Some(20));
+        assert_eq!(t.get(&h, 10), Some(20));
         t.check_invariants().unwrap();
     }
 
     #[test]
     fn deletes_retire_two_nodes() {
         let t = tree(SmrKind::Debra, 1);
-        t.insert(0, 1, 1);
-        t.insert(0, 2, 2);
+        let h = t.smr().register(0);
+        t.insert(&h, 1, 1);
+        t.insert(&h, 2, 2);
         let retired_before = t.smr().stats().retired;
-        t.remove(0, 1);
+        t.remove(&h, 1);
         assert_eq!(t.smr().stats().retired - retired_before, 2);
         assert_eq!(t.frees_per_delete_hint(), 2);
     }
@@ -504,24 +494,13 @@ mod tests {
         // 4 threads hammer disjoint+overlapping ranges under every scheme;
         // afterwards the survivors must match a sequential replay oracle
         // keyed by deterministic per-thread patterns.
-        for kind in [
-            SmrKind::None,
-            SmrKind::Qsbr,
-            SmrKind::Rcu,
-            SmrKind::Debra,
-            SmrKind::TokenPeriodic,
-            SmrKind::Hp,
-            SmrKind::He,
-            SmrKind::Ibr,
-            SmrKind::Nbr,
-            SmrKind::NbrPlus,
-            SmrKind::Wfe,
-        ] {
+        for kind in SmrKind::ALL {
             let t = Arc::new(tree(kind, 4));
             let handles: Vec<_> = (0..4usize)
                 .map(|tid| {
                     let t = Arc::clone(&t);
                     std::thread::spawn(move || {
+                        let h = t.smr().register(tid);
                         // Each thread owns keys ≡ tid (mod 4): no cross-thread
                         // interference on ownership, full interference on
                         // structure.
@@ -530,17 +509,17 @@ mod tests {
                             for i in 0..8u64 {
                                 let k = base + 4 * (i + 8 * (round % 3));
                                 if round % 2 == 0 {
-                                    t.insert(tid, k, k + 1);
+                                    t.insert(&h, k, k + 1);
                                 } else {
-                                    t.remove(tid, k);
+                                    t.remove(&h, k);
                                 }
                             }
                             // Reads over the whole space.
                             for i in 0..8u64 {
-                                let _ = t.get(tid, i * 13 % 97);
+                                let _ = t.get(&h, i * 13 % 97);
                             }
                         }
-                        t.smr().detach(tid);
+                        h.detach();
                     })
                 })
                 .collect();
@@ -573,9 +552,10 @@ mod tests {
     #[test]
     fn reclamation_happens_under_churn() {
         let t = tree(SmrKind::Debra, 1);
+        let h = t.smr().register(0);
         for round in 0..2_000u64 {
-            t.insert(0, round % 16, round);
-            t.remove(0, round % 16);
+            t.insert(&h, round % 16, round);
+            t.remove(&h, round % 16);
         }
         let s = t.smr().stats();
         assert!(s.retired > 3_000, "churn retires: {s:?}");
@@ -588,11 +568,12 @@ mod tests {
         let cfg = SmrConfig::new(1).with_bag_cap(16);
         {
             let t = DgtTree::new(build_smr(SmrKind::Debra, Arc::clone(&alloc), cfg));
+            let h = t.smr().register(0);
             for k in 0..100 {
-                t.insert(0, k, k);
+                t.insert(&h, k, k);
             }
             for k in 0..50 {
-                t.remove(0, k);
+                t.remove(&h, k);
             }
         }
         // Tree dropped: every allocated block must be back (Sys model

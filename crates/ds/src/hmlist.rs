@@ -20,9 +20,9 @@
 //! CAS succeeds retires the node (exactly once — see the safety argument
 //! on the private `HmList::find` helper).
 
-use crate::{alloc_node, dealloc_node, ConcurrentMap, MAX_KEY};
-use epic_alloc::{PoolAllocator, Tid};
-use epic_smr::Smr;
+use crate::{alloc_node, dealloc_node, free_node_quiescent, ConcurrentMap, MAX_KEY};
+use epic_alloc::PoolAllocator;
+use epic_smr::{OpGuard, Restart, Smr, SmrHandle};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -71,10 +71,9 @@ struct Window {
 
 /// Harris–Michael sorted linked list. See module docs.
 pub struct HmList {
-    smr: Arc<dyn Smr>,
+    smr: Smr,
     alloc: Arc<dyn PoolAllocator>,
     head: usize,
-    needs_validate: bool,
 }
 
 // SAFETY: all shared state is atomics + SMR-protected nodes.
@@ -83,38 +82,41 @@ unsafe impl Sync for HmList {}
 
 impl HmList {
     /// Builds an empty list over `smr`'s allocator.
-    pub fn new(smr: Arc<dyn Smr>) -> Self {
+    ///
+    /// Briefly registers tid 0 to allocate the sentinels.
+    ///
+    /// # Panics
+    /// If another [`epic_smr::SmrHandle`] for tid 0 is live at call time
+    /// (register after construction, or drop the handle first).
+    pub fn new(smr: Smr) -> Self {
         let alloc = Arc::clone(smr.allocator());
-        let mk = |key: u64, next: usize| -> usize {
-            // SAFETY: Node is POD; sentinels live for the list's lifetime.
-            unsafe {
-                alloc_node(
-                    &alloc,
-                    &smr,
-                    0,
-                    Node {
-                        key,
-                        value: 0,
-                        next: AtomicUsize::new(next),
-                        _pad: [0; 5],
-                    },
-                ) as usize
-            }
+        let head = {
+            let handle = smr.register(0);
+            let guard = handle.begin_op();
+            let mk = |key: u64, next: usize| -> usize {
+                // SAFETY: Node is POD; sentinels live for the list's
+                // lifetime.
+                unsafe {
+                    alloc_node(
+                        &guard,
+                        Node {
+                            key,
+                            value: 0,
+                            next: AtomicUsize::new(next),
+                            _pad: [0; 5],
+                        },
+                    ) as usize
+                }
+            };
+            let tail = mk(u64::MAX, 0);
+            mk(0, tail)
         };
-        let tail = mk(u64::MAX, 0);
-        let head = mk(0, tail);
-        let needs_validate = smr.needs_validate();
-        HmList {
-            smr,
-            alloc,
-            head,
-            needs_validate,
-        }
+        HmList { smr, alloc, head }
     }
 
-    /// One protected hop: load `from.next`, publish protection for the
-    /// successor, and validate the link is unchanged (slot-based schemes).
-    /// Returns the raw word (successor | mark). `Err(())` means restart.
+    /// One protected hop: [`OpGuard::protect_load`] over `from.next` —
+    /// publish (tag-stripped), re-read/validate, poll. Returns the raw
+    /// word (successor | mark); `Err(Restart)` means restart.
     ///
     /// The returned successor is safe to dereference because (a) for
     /// validating schemes the link was re-read after protection was
@@ -122,44 +124,31 @@ impl HmList {
     /// callers treat as "help or skip", never as a stable window; (b) for
     /// epoch/token/NBR schemes the grace period covers the whole operation.
     #[inline]
-    fn read_next(&self, tid: Tid, slot: usize, from: &Node) -> Result<usize, ()> {
-        let mut raw = from.next.load(Ordering::Acquire);
-        if self.needs_validate {
-            loop {
-                self.smr.protect(tid, slot, unmark(raw));
-                let again = from.next.load(Ordering::Acquire);
-                if again == raw {
-                    break;
-                }
-                raw = again;
-            }
-        }
-        if self.smr.poll_restart(tid) {
-            return Err(());
-        }
-        Ok(raw)
+    fn read_next(&self, g: &OpGuard<'_>, slot: usize, from: &Node) -> Result<usize, Restart> {
+        g.protect_load(slot, &from.next)
     }
 
     /// Michael's `find`: descends to the first node with `key >= key`,
-    /// helping to physically unlink any marked node encountered. `Err(())`
-    /// means the operation must restart (neutralization or lost race).
+    /// helping to physically unlink any marked node encountered.
+    /// `Err(Restart)` means the operation must restart (neutralization or
+    /// lost race).
     ///
     /// Exactly-once retirement: only the thread whose unlink CAS succeeds
     /// retires the victim. A stale window cannot double-unlink because a
     /// retired predecessor's `next` is itself marked (removal marks before
     /// unlinking), so a CAS expecting an *unmarked* value on it must fail.
-    fn find(&self, tid: Tid, key: u64) -> Result<Window, ()> {
+    fn find(&self, g: &OpGuard<'_>, key: u64) -> Result<Window, Restart> {
         let mut pred = self.head;
         // SAFETY: head is a permanent sentinel.
         let mut pred_node = unsafe { node(pred) };
         // The head sentinel is never marked; its link is the current first
         // node.
-        let mut curr = unmark(self.read_next(tid, 0, pred_node)?);
+        let mut curr = unmark(self.read_next(g, 0, pred_node)?);
         let mut depth = 1usize;
         loop {
             // SAFETY: curr was protected by the previous read_next hop.
             let curr_node = unsafe { node(curr) };
-            let next_raw = self.read_next(tid, depth % 3, curr_node)?;
+            let next_raw = self.read_next(g, depth % 3, curr_node)?;
             if is_marked(next_raw) {
                 // curr is logically deleted: help unlink it from pred.
                 let succ = unmark(next_raw);
@@ -169,22 +158,19 @@ impl HmList {
                     .is_err()
                 {
                     // The window moved under us; retry from the head.
-                    return Err(());
+                    return Err(Restart);
                 }
                 // SAFETY: the successful CAS above made `curr` unreachable,
                 // and (per the mark argument in the doc comment) no other
                 // thread's unlink of `curr` can also succeed.
                 unsafe {
-                    self.smr
-                        .retire(tid, std::ptr::NonNull::new_unchecked(curr as *mut u8));
+                    g.retire(std::ptr::NonNull::new_unchecked(curr as *mut u8));
                 }
-                // `succ` inherits curr's protection obligations: re-protect
-                // it in curr's slot and re-validate against pred.
-                if self.needs_validate {
-                    self.smr.protect(tid, depth % 3, succ);
-                    if pred_node.next.load(Ordering::Acquire) != succ {
-                        return Err(());
-                    }
+                // `succ` inherits curr's protection obligations: re-run the
+                // protected hop on pred's link; any outcome other than
+                // `succ` means the window moved.
+                if g.validating() && self.read_next(g, depth % 3, pred_node)? != succ {
+                    return Err(Restart);
                 }
                 curr = succ;
                 continue;
@@ -208,31 +194,31 @@ impl HmList {
             // quiesce_and_drain).
             let next = unsafe { unmark(node(addr).next.load(Ordering::Relaxed)) };
             // SAFETY: node came from this list's allocator.
-            unsafe { dealloc_node(&self.alloc, 0, addr as *mut Node) };
+            unsafe { free_node_quiescent(&self.alloc, addr as *mut Node) };
             addr = next;
         }
     }
 }
 
 impl ConcurrentMap for HmList {
-    fn insert(&self, tid: Tid, key: u64, value: u64) -> bool {
+    fn insert(&self, h: &SmrHandle, key: u64, value: u64) -> bool {
         assert!(key <= MAX_KEY, "key space reserved for the tail sentinel");
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(w) = self.find(tid, key) else { continue };
+            let Ok(w) = self.find(&guard, key) else {
+                continue;
+            };
             // SAFETY: protected by the traversal discipline.
             let curr_node = unsafe { node(w.curr) };
             if curr_node.key == key {
                 break false;
             }
-            self.smr.enter_write_phase(tid, &[w.pred, w.curr]);
+            guard.enter_write_phase(&[w.pred, w.curr]);
             // SAFETY: fresh POD node, published by the CAS below or
             // returned on failure.
             let new = unsafe {
                 alloc_node(
-                    &self.alloc,
-                    &self.smr,
-                    tid,
+                    &guard,
                     Node {
                         key,
                         value,
@@ -252,28 +238,30 @@ impl ConcurrentMap for HmList {
                 break true;
             }
             // SAFETY: the new node was never published.
-            unsafe { dealloc_node(&self.alloc, tid, new as *mut Node) };
-            self.smr.begin_op(tid); // re-enter read phase (NBR) and re-tick
+            unsafe { dealloc_node(&guard, new as *mut Node) };
+            guard.restart(); // re-enter read phase (NBR) and re-tick
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
-    fn remove(&self, tid: Tid, key: u64) -> bool {
+    fn remove(&self, h: &SmrHandle, key: u64) -> bool {
         assert!(key <= MAX_KEY);
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(w) = self.find(tid, key) else { continue };
+            let Ok(w) = self.find(&guard, key) else {
+                continue;
+            };
             // SAFETY: protected by the traversal discipline.
             let curr_node = unsafe { node(w.curr) };
             if curr_node.key != key {
                 break false;
             }
-            self.smr.enter_write_phase(tid, &[w.pred, w.curr]);
+            guard.enter_write_phase(&[w.pred, w.curr]);
             let raw = curr_node.next.load(Ordering::Acquire);
             if is_marked(raw) {
                 // Lost the race: someone else logically deleted it first.
-                self.smr.begin_op(tid);
+                guard.restart();
                 continue;
             }
             // The logical delete (linearization point).
@@ -282,7 +270,7 @@ impl ConcurrentMap for HmList {
                 .compare_exchange(raw, raw | MARK, Ordering::AcqRel, Ordering::Acquire)
                 .is_err()
             {
-                self.smr.begin_op(tid);
+                guard.restart();
                 continue;
             }
             // Best-effort physical unlink; on failure some traversal's
@@ -297,21 +285,22 @@ impl ConcurrentMap for HmList {
             {
                 // SAFETY: unlinked by the CAS above, exactly once.
                 unsafe {
-                    self.smr
-                        .retire(tid, std::ptr::NonNull::new_unchecked(w.curr as *mut u8));
+                    guard.retire(std::ptr::NonNull::new_unchecked(w.curr as *mut u8));
                 }
             }
             break true;
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
-    fn get(&self, tid: Tid, key: u64) -> Option<u64> {
+    fn get(&self, h: &SmrHandle, key: u64) -> Option<u64> {
         assert!(key <= MAX_KEY);
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(w) = self.find(tid, key) else { continue };
+            let Ok(w) = self.find(&guard, key) else {
+                continue;
+            };
             // SAFETY: protected by the traversal discipline.
             let curr_node = unsafe { node(w.curr) };
             break if curr_node.key == key {
@@ -320,7 +309,7 @@ impl ConcurrentMap for HmList {
                 None
             };
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
@@ -384,7 +373,7 @@ impl ConcurrentMap for HmList {
         "hmlist"
     }
 
-    fn smr(&self) -> &Arc<dyn Smr> {
+    fn smr(&self) -> &Smr {
         &self.smr
     }
 
@@ -417,15 +406,16 @@ mod tests {
     #[test]
     fn sequential_semantics() {
         let l = list(SmrKind::Debra, 1);
-        assert!(!l.contains(0, 5));
-        assert!(l.insert(0, 5, 50));
-        assert!(!l.insert(0, 5, 51), "duplicate insert");
-        assert_eq!(l.get(0, 5), Some(50));
-        assert!(l.insert(0, 3, 30));
-        assert!(l.insert(0, 8, 80));
+        let h = l.smr().register(0);
+        assert!(!l.contains(&h, 5));
+        assert!(l.insert(&h, 5, 50));
+        assert!(!l.insert(&h, 5, 51), "duplicate insert");
+        assert_eq!(l.get(&h, 5), Some(50));
+        assert!(l.insert(&h, 3, 30));
+        assert!(l.insert(&h, 8, 80));
         assert_eq!(l.collect_keys(), vec![3, 5, 8]);
-        assert!(l.remove(0, 5));
-        assert!(!l.remove(0, 5), "double remove");
+        assert!(l.remove(&h, 5));
+        assert!(!l.remove(&h, 5), "double remove");
         assert_eq!(l.collect_keys(), vec![3, 8]);
         l.check_invariants().unwrap();
     }
@@ -433,12 +423,13 @@ mod tests {
     #[test]
     fn ordered_insertion_any_order() {
         let l = list(SmrKind::Rcu, 1);
+        let h = l.smr().register(0);
         for k in [9u64, 1, 7, 3, 5, 2, 8, 4, 6] {
-            assert!(l.insert(0, k, k * 10));
+            assert!(l.insert(&h, k, k * 10));
         }
         assert_eq!(l.collect_keys(), (1..=9).collect::<Vec<_>>());
         for k in 1..=9 {
-            assert_eq!(l.get(0, k), Some(k * 10));
+            assert_eq!(l.get(&h, k), Some(k * 10));
         }
         l.check_invariants().unwrap();
     }
@@ -446,69 +437,60 @@ mod tests {
     #[test]
     fn empty_then_refill() {
         let l = list(SmrKind::Qsbr, 1);
+        let h = l.smr().register(0);
         for k in 1..=64 {
-            assert!(l.insert(0, k, k));
+            assert!(l.insert(&h, k, k));
         }
         for k in 1..=64 {
-            assert!(l.remove(0, k));
+            assert!(l.remove(&h, k));
         }
         assert_eq!(l.size(), 0);
         l.check_invariants().unwrap();
         for k in (1..=64).rev() {
-            assert!(l.insert(0, k, k * 2));
+            assert!(l.insert(&h, k, k * 2));
         }
         assert_eq!(l.size(), 64);
-        assert_eq!(l.get(0, 10), Some(20));
+        assert_eq!(l.get(&h, 10), Some(20));
         l.check_invariants().unwrap();
     }
 
     #[test]
     fn deletes_retire_one_node() {
         let l = list(SmrKind::Debra, 1);
-        l.insert(0, 1, 1);
-        l.insert(0, 2, 2);
+        let h = l.smr().register(0);
+        l.insert(&h, 1, 1);
+        l.insert(&h, 2, 2);
         let before = l.smr().stats().retired;
-        l.remove(0, 1);
+        l.remove(&h, 1);
         assert_eq!(l.smr().stats().retired - before, 1);
         assert_eq!(l.frees_per_delete_hint(), 1);
     }
 
     #[test]
     fn concurrent_stress_every_scheme() {
-        for kind in [
-            SmrKind::None,
-            SmrKind::Qsbr,
-            SmrKind::Rcu,
-            SmrKind::Debra,
-            SmrKind::TokenPeriodic,
-            SmrKind::Hp,
-            SmrKind::He,
-            SmrKind::Ibr,
-            SmrKind::Nbr,
-            SmrKind::NbrPlus,
-            SmrKind::Wfe,
-        ] {
+        for kind in SmrKind::ALL {
             let l = Arc::new(list(kind, 4));
             let handles: Vec<_> = (0..4usize)
                 .map(|tid| {
                     let l = Arc::clone(&l);
                     std::thread::spawn(move || {
+                        let h = l.smr().register(tid);
                         // Keys ≡ tid (mod 4), shifted to avoid key 0.
                         let base = tid as u64 + 1;
                         for round in 0..200u64 {
                             for i in 0..8u64 {
                                 let k = base + 4 * (i + 8 * (round % 3));
                                 if round % 2 == 0 {
-                                    l.insert(tid, k, k + 1);
+                                    l.insert(&h, k, k + 1);
                                 } else {
-                                    l.remove(tid, k);
+                                    l.remove(&h, k);
                                 }
                             }
                             for i in 1..8u64 {
-                                let _ = l.get(tid, i * 13 % 97 + 1);
+                                let _ = l.get(&h, i * 13 % 97 + 1);
                             }
                         }
-                        l.smr().detach(tid);
+                        h.detach();
                     })
                 })
                 .collect();
@@ -540,9 +522,10 @@ mod tests {
     #[test]
     fn reclamation_happens_under_churn() {
         let l = list(SmrKind::Debra, 1);
+        let h = l.smr().register(0);
         for round in 0..2_000u64 {
-            l.insert(0, round % 16 + 1, round);
-            l.remove(0, round % 16 + 1);
+            l.insert(&h, round % 16 + 1, round);
+            l.remove(&h, round % 16 + 1);
         }
         let s = l.smr().stats();
         assert!(s.retired > 1_500, "churn retires: {s:?}");
@@ -555,11 +538,12 @@ mod tests {
         let cfg = SmrConfig::new(1).with_bag_cap(16);
         {
             let l = HmList::new(build_smr(SmrKind::Debra, Arc::clone(&alloc), cfg));
+            let h = l.smr().register(0);
             for k in 1..=100 {
-                l.insert(0, k, k);
+                l.insert(&h, k, k);
             }
             for k in 1..=50 {
-                l.remove(0, k);
+                l.remove(&h, k);
             }
         }
         let snap = alloc.snapshot();
@@ -583,9 +567,10 @@ mod tests {
             .with_mode(epic_smr::FreeMode::Pooled)
             .with_bag_cap(16);
         let l = HmList::new(build_smr(SmrKind::Debra, Arc::clone(&alloc), cfg));
+        let h = l.smr().register(0);
         for round in 0..2_000u64 {
-            l.insert(0, round % 8 + 1, round);
-            l.remove(0, round % 8 + 1);
+            l.insert(&h, round % 8 + 1, round);
+            l.remove(&h, round % 8 + 1);
         }
         let s = l.smr().stats();
         assert!(
@@ -610,11 +595,12 @@ mod tests {
         // The head sentinel's key field is never compared, so the full
         // [0, MAX_KEY] space is usable.
         let l = list(SmrKind::Debra, 1);
-        assert!(l.insert(0, 0, 7));
-        assert_eq!(l.get(0, 0), Some(7));
-        assert!(l.insert(0, MAX_KEY, 9));
+        let h = l.smr().register(0);
+        assert!(l.insert(&h, 0, 7));
+        assert_eq!(l.get(&h, 0), Some(7));
+        assert!(l.insert(&h, MAX_KEY, 9));
         assert_eq!(l.collect_keys(), vec![0, MAX_KEY]);
-        assert!(l.remove(0, 0));
+        assert!(l.remove(&h, 0));
         assert_eq!(l.collect_keys(), vec![MAX_KEY]);
         l.check_invariants().unwrap();
     }

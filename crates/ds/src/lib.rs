@@ -24,14 +24,17 @@
 //!
 //! ## SMR discipline
 //!
-//! Every traversal hop follows the protocol the schemes require (see
-//! `epic-smr` docs): publish protection, re-read the link to validate
-//! (slot-based schemes), check the parent's mark, and poll for
-//! neutralization (NBR). Epoch/token schemes compile all of that down to
-//! nothing but the plain Acquire load.
+//! Operations run against a thread-bound [`SmrHandle`] (DESIGN.md §7):
+//! each hop is one [`OpGuard::protect_load`] call, which owns the whole
+//! publish → re-read/validate → neutralization-poll protocol — the trees
+//! never touch the raw tid-indexed scheme surface. Epoch/token schemes
+//! compile a hop down to a plain `Acquire` load; slot/era schemes publish
+//! through pointers the handle resolved once at registration.
 //!
-//! Nodes are plain-old-data carved from the pool allocator; reclamation is
-//! exactly "return the block". Trees free all remaining nodes on `Drop`.
+//! Nodes are plain-old-data carved from the pool allocator via
+//! [`OpGuard::alloc`] (object pool + birth-era stamp fused); reclamation
+//! is exactly "return the block". Trees free all remaining nodes on
+//! `Drop`.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -46,8 +49,8 @@ pub use dgt::DgtTree;
 pub use hmlist::HmList;
 pub use occ::OccTree;
 
-use epic_alloc::{PoolAllocator, Tid};
-use epic_smr::Smr;
+use epic_alloc::PoolAllocator;
+use epic_smr::{OpGuard, Smr, SmrHandle};
 use std::sync::Arc;
 
 /// Largest usable key: the trees reserve `u64::MAX` (and `u64::MAX - 1`)
@@ -59,23 +62,23 @@ pub const MAX_VALUE: u64 = u64::MAX - 1;
 
 /// The concurrent ordered-map interface the harness benchmarks.
 ///
-/// All operations take the caller's [`Tid`] (same one-thread-per-tid
-/// contract as the allocator and SMR layers). `size`, `collect_keys` and
-/// `check_invariants` require quiescence — call them only when no other
-/// thread is operating.
+/// All operations take the calling thread's [`SmrHandle`] (obtained once
+/// per thread via [`Smr::register`]; same one-thread-per-tid contract as
+/// the allocator). `size`, `collect_keys` and `check_invariants` require
+/// quiescence — call them only when no other thread is operating.
 pub trait ConcurrentMap: Send + Sync {
     /// Inserts `key → value`; returns true if the key was absent.
-    fn insert(&self, tid: Tid, key: u64, value: u64) -> bool;
+    fn insert(&self, h: &SmrHandle, key: u64, value: u64) -> bool;
 
     /// Removes `key`; returns true if it was present.
-    fn remove(&self, tid: Tid, key: u64) -> bool;
+    fn remove(&self, h: &SmrHandle, key: u64) -> bool;
 
     /// Looks up `key`.
-    fn get(&self, tid: Tid, key: u64) -> Option<u64>;
+    fn get(&self, h: &SmrHandle, key: u64) -> Option<u64>;
 
     /// Membership test.
-    fn contains(&self, tid: Tid, key: u64) -> bool {
-        self.get(tid, key).is_some()
+    fn contains(&self, h: &SmrHandle, key: u64) -> bool {
+        self.get(h, key).is_some()
     }
 
     /// Number of keys (quiescent).
@@ -92,7 +95,7 @@ pub trait ConcurrentMap: Send + Sync {
     fn ds_name(&self) -> &'static str;
 
     /// The reclamation scheme in use.
-    fn smr(&self) -> &Arc<dyn Smr>;
+    fn smr(&self) -> &Smr;
 
     /// Average nodes freed per delete — the paper's §7 guidance for tuning
     /// the amortized-free drain rate (`per_op`).
@@ -139,8 +142,9 @@ impl TreeKind {
 }
 
 /// Builds a map of the given kind over `smr` (which carries the
-/// allocator).
-pub fn build_tree(kind: TreeKind, smr: Arc<dyn Smr>) -> Arc<dyn ConcurrentMap> {
+/// allocator). Briefly registers tid 0 to allocate the sentinels, so no
+/// tid-0 [`SmrHandle`] may be live at call time.
+pub fn build_tree(kind: TreeKind, smr: Smr) -> Arc<dyn ConcurrentMap> {
     match kind {
         TreeKind::Ab => Arc::new(AbTree::new(smr)),
         TreeKind::Occ => Arc::new(OccTree::new(smr)),
@@ -149,31 +153,23 @@ pub fn build_tree(kind: TreeKind, smr: Arc<dyn Smr>) -> Arc<dyn ConcurrentMap> {
     }
 }
 
-/// Allocates and placement-initializes a node of type `T` from the pool,
-/// stamping the SMR birth era. Under [`epic_smr::FreeMode::Pooled`] the
-/// block may be recycled from the scheme's object pool instead of the
-/// allocator.
+/// Allocates and placement-initializes a node of type `T` through the
+/// guard: object pool first (under [`epic_smr::FreeMode::Pooled`]), then
+/// the allocator, with the scheme's birth-era stamp and amortized-free
+/// tick already applied.
 ///
 /// # Safety
 /// `T` must be plain-old-data (no `Drop`), and the caller must eventually
-/// either `retire` the node through `smr` or return it with
+/// either `retire` the node through the guard or return it with
 /// [`dealloc_node`].
-pub(crate) unsafe fn alloc_node<T>(
-    alloc: &Arc<dyn PoolAllocator>,
-    smr: &Arc<dyn Smr>,
-    tid: Tid,
-    value: T,
-) -> *mut T {
-    let size = std::mem::size_of::<T>();
-    let ptr = smr
-        .try_pool_alloc(tid, size)
-        .unwrap_or_else(|| alloc.alloc(tid, size));
+pub(crate) unsafe fn alloc_node<T>(g: &OpGuard<'_>, value: T) -> *mut T {
+    let ptr = g.alloc(std::mem::size_of::<T>());
     let node = ptr.as_ptr() as *mut T;
     // SAFETY: a block of >= size_of::<T>() bytes (fresh, or recycled from
     // the same size class), 16-aligned (block layout), which satisfies the
-    // trees' node alignments (<= 16).
+    // trees' node alignments (<= 16). The header precedes user memory, so
+    // the birth-era stamp `g.alloc` already wrote is untouched.
     unsafe { node.write(value) };
-    smr.on_alloc(tid, ptr);
     node
 }
 
@@ -181,12 +177,23 @@ pub(crate) unsafe fn alloc_node<T>(
 /// validation paths — the node was never visible to other threads).
 ///
 /// # Safety
-/// `node` must come from [`alloc_node`] on the same allocator and must not
+/// `node` must come from [`alloc_node`] under the same handle and must not
 /// have been published.
-pub(crate) unsafe fn dealloc_node<T>(alloc: &Arc<dyn PoolAllocator>, tid: Tid, node: *mut T) {
+pub(crate) unsafe fn dealloc_node<T>(g: &OpGuard<'_>, node: *mut T) {
+    // SAFETY: forwarded to caller; POD nodes need no drop.
+    unsafe { g.dealloc_unpublished(std::ptr::NonNull::new_unchecked(node as *mut u8)) };
+}
+
+/// Frees a node during quiescent teardown (`Drop` walks), straight through
+/// the allocator under tid 0.
+///
+/// # Safety
+/// The caller must have exclusive access (drop/quiescence) and `node` must
+/// be a live block of `alloc` freed exactly once.
+pub(crate) unsafe fn free_node_quiescent<T>(alloc: &Arc<dyn PoolAllocator>, node: *mut T) {
     // SAFETY: forwarded to caller; POD nodes need no drop.
     unsafe {
-        alloc.dealloc(tid, std::ptr::NonNull::new_unchecked(node as *mut u8));
+        alloc.dealloc(0, std::ptr::NonNull::new_unchecked(node as *mut u8));
     }
 }
 
@@ -200,7 +207,7 @@ mod tests {
         assert_eq!(TreeKind::parse("OCC"), Some(TreeKind::Occ));
         assert_eq!(TreeKind::parse("dgt"), Some(TreeKind::Dgt));
         assert_eq!(TreeKind::parse("xyz"), None);
-        for k in [TreeKind::Ab, TreeKind::Occ, TreeKind::Dgt] {
+        for k in TreeKind::ALL {
             assert_eq!(TreeKind::parse(k.name()), Some(k));
         }
     }

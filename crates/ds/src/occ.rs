@@ -20,9 +20,9 @@
 //! logarithmic, and the paper's phenomena concern allocation volume, not
 //! rotations.
 
-use crate::{alloc_node, dealloc_node, ConcurrentMap, MAX_KEY};
-use epic_alloc::{PoolAllocator, Tid};
-use epic_smr::Smr;
+use crate::{alloc_node, free_node_quiescent, ConcurrentMap, MAX_KEY};
+use epic_alloc::PoolAllocator;
+use epic_smr::{OpGuard, Restart, Smr, SmrHandle};
 use epic_util::SeqLock;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -89,12 +89,11 @@ struct Found {
 
 /// Simplified Bronson OCC tree. See module docs.
 pub struct OccTree {
-    smr: Arc<dyn Smr>,
+    smr: Smr,
     alloc: Arc<dyn PoolAllocator>,
     /// Permanent sentinel root with key `u64::MAX`; the real tree is its
     /// left subtree.
     root: usize,
-    needs_validate: bool,
 }
 
 // SAFETY: shared state is atomics + SMR-protected nodes.
@@ -103,69 +102,62 @@ unsafe impl Sync for OccTree {}
 
 impl OccTree {
     /// Builds an empty tree over `smr`'s allocator.
-    pub fn new(smr: Arc<dyn Smr>) -> Self {
-        let alloc = Arc::clone(smr.allocator());
-        // SAFETY: POD sentinel, lives for the tree's lifetime.
-        let root = unsafe {
-            alloc_node(
-                &alloc,
-                &smr,
-                0,
-                Node {
-                    key: u64::MAX,
-                    value: AtomicU64::new(TOMB),
-                    left: AtomicUsize::new(0),
-                    right: AtomicUsize::new(0),
-                    version: SeqLock::new(),
-                    marked: AtomicUsize::new(0),
-                },
-            ) as usize
+    ///
+    /// Briefly registers tid 0 to allocate the sentinels.
+    ///
+    /// # Panics
+    /// If another [`epic_smr::SmrHandle`] for tid 0 is live at call time
+    /// (register after construction, or drop the handle first).
+    pub fn new(smr: Smr) -> Self {
+        let root = {
+            let handle = smr.register(0);
+            let guard = handle.begin_op();
+            // SAFETY: POD sentinel, lives for the tree's lifetime.
+            unsafe {
+                alloc_node(
+                    &guard,
+                    Node {
+                        key: u64::MAX,
+                        value: AtomicU64::new(TOMB),
+                        left: AtomicUsize::new(0),
+                        right: AtomicUsize::new(0),
+                        version: SeqLock::new(),
+                        marked: AtomicUsize::new(0),
+                    },
+                ) as usize
+            }
         };
-        let needs_validate = smr.needs_validate();
-        OccTree {
-            smr,
-            alloc,
-            root,
-            needs_validate,
-        }
+        let alloc = Arc::clone(smr.allocator());
+        OccTree { smr, alloc, root }
     }
 
-    /// Protected hop (same discipline as the other trees).
+    /// Protected hop: one [`OpGuard::protect_load`] plus the staleness
+    /// check a validating scheme needs (a marked parent may already be
+    /// retired).
     #[inline]
-    fn read_child(&self, tid: Tid, slot: usize, parent: &Node, go_left: bool) -> Result<usize, ()> {
-        let link = parent.child(go_left);
-        let mut c = link.load(Ordering::Acquire);
-        if self.needs_validate {
-            loop {
-                if c == 0 {
-                    break;
-                }
-                self.smr.protect(tid, slot, c);
-                let again = link.load(Ordering::Acquire);
-                if again == c {
-                    break;
-                }
-                c = again;
-            }
-            if parent.is_marked() {
-                return Err(());
-            }
-        }
-        if self.smr.poll_restart(tid) {
-            return Err(());
+    fn read_child(
+        &self,
+        g: &OpGuard<'_>,
+        slot: usize,
+        parent: &Node,
+        go_left: bool,
+    ) -> Result<usize, Restart> {
+        let c = g.protect_load(slot, parent.child(go_left))?;
+        if g.validating() && parent.is_marked() {
+            return Err(Restart);
         }
         Ok(c)
     }
 
-    /// Optimistic descent to `key`. `Err(())` = restart.
-    fn search(&self, tid: Tid, key: u64) -> Result<Found, ()> {
+    /// Optimistic descent to `key`. `Err(Restart)` = restart.
+    fn search(&self, g: &OpGuard<'_>, key: u64) -> Result<Found, Restart> {
         let mut parent = self.root;
         let mut go_left = true;
         let mut depth = 0usize;
         loop {
             // SAFETY: parent is the sentinel or was protected last hop.
             let p_node = unsafe { node(parent) };
-            let c = self.read_child(tid, depth % 3, p_node, go_left)?;
+            let c = self.read_child(g, depth % 3, p_node, go_left)?;
             if c == 0 {
                 return Ok(Found {
                     parent,
@@ -190,10 +182,16 @@ impl OccTree {
 
     /// Physically unlinks `target` (≤ 1 child) from `parent`. Both locks
     /// taken in root-to-leaf order. Returns false if validation failed.
-    fn unlink(&self, tid: Tid, parent_addr: usize, target_addr: usize, go_left: bool) -> bool {
+    fn unlink(
+        &self,
+        g: &OpGuard<'_>,
+        parent_addr: usize,
+        target_addr: usize,
+        go_left: bool,
+    ) -> bool {
         // SAFETY: protected by caller's traversal.
         let (parent, target) = unsafe { (node(parent_addr), node(target_addr)) };
-        self.smr.enter_write_phase(tid, &[parent_addr, target_addr]);
+        g.enter_write_phase(&[parent_addr, target_addr]);
         parent.version.write_lock();
         target.version.write_lock();
         let replacement = {
@@ -221,10 +219,7 @@ impl OccTree {
         parent.version.write_unlock();
         // SAFETY: target is unlinked; SMR delays the free.
         unsafe {
-            self.smr.retire(
-                tid,
-                std::ptr::NonNull::new_unchecked(target_addr as *mut u8),
-            );
+            g.retire(std::ptr::NonNull::new_unchecked(target_addr as *mut u8));
         }
         true
     }
@@ -272,16 +267,16 @@ impl OccTree {
         self.drop_rec(n.left.load(Ordering::Relaxed));
         self.drop_rec(n.right.load(Ordering::Relaxed));
         // SAFETY: freed exactly once during the drop walk.
-        unsafe { dealloc_node(&self.alloc, 0, addr as *mut Node) };
+        unsafe { free_node_quiescent(&self.alloc, addr as *mut Node) };
     }
 }
 
 impl ConcurrentMap for OccTree {
-    fn insert(&self, tid: Tid, key: u64, value: u64) -> bool {
+    fn insert(&self, h: &SmrHandle, key: u64, value: u64) -> bool {
         assert!(key <= MAX_KEY && value < TOMB);
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(f) = self.search(tid, key) else {
+            let Ok(f) = self.search(&guard, key) else {
                 continue;
             };
             if f.target != 0 {
@@ -289,11 +284,11 @@ impl ConcurrentMap for OccTree {
                 // the Bronson signature move).
                 // SAFETY: protected by traversal.
                 let t = unsafe { node(f.target) };
-                self.smr.enter_write_phase(tid, &[f.target]);
+                guard.enter_write_phase(&[f.target]);
                 t.version.write_lock();
                 if t.is_marked() {
                     t.version.write_unlock();
-                    self.smr.begin_op(tid);
+                    guard.restart();
                     continue;
                 }
                 let was_tomb = t.value.load(Ordering::Acquire) == TOMB;
@@ -306,20 +301,18 @@ impl ConcurrentMap for OccTree {
             // Attach a fresh node at the null link.
             // SAFETY: protected by traversal.
             let p = unsafe { node(f.parent) };
-            self.smr.enter_write_phase(tid, &[f.parent]);
+            guard.enter_write_phase(&[f.parent]);
             p.version.write_lock();
             let valid = !p.is_marked() && p.child(f.go_left).load(Ordering::Acquire) == 0;
             if !valid {
                 p.version.write_unlock();
-                self.smr.begin_op(tid);
+                guard.restart();
                 continue;
             }
             // SAFETY: fresh POD node, published below.
             let fresh = unsafe {
                 alloc_node(
-                    &self.alloc,
-                    &self.smr,
-                    tid,
+                    &guard,
                     Node {
                         key,
                         value: AtomicU64::new(value),
@@ -334,15 +327,15 @@ impl ConcurrentMap for OccTree {
             p.version.write_unlock();
             break true;
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
-    fn remove(&self, tid: Tid, key: u64) -> bool {
+    fn remove(&self, h: &SmrHandle, key: u64) -> bool {
         assert!(key <= MAX_KEY);
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(f) = self.search(tid, key) else {
+            let Ok(f) = self.search(&guard, key) else {
                 continue;
             };
             if f.target == 0 {
@@ -355,17 +348,17 @@ impl ConcurrentMap for OccTree {
             }
             if t.n_children() == 2 {
                 // Logical delete: tombstone, keep as routing node.
-                self.smr.enter_write_phase(tid, &[f.target]);
+                guard.enter_write_phase(&[f.target]);
                 t.version.write_lock();
                 if t.is_marked() {
                     t.version.write_unlock();
-                    self.smr.begin_op(tid);
+                    guard.restart();
                     continue;
                 }
                 if t.n_children() < 2 {
                     // Shrank meanwhile: retry through the unlink path.
                     t.version.write_unlock();
-                    self.smr.begin_op(tid);
+                    guard.restart();
                     continue;
                 }
                 let had_value = t.value.load(Ordering::Acquire) != TOMB;
@@ -376,11 +369,11 @@ impl ConcurrentMap for OccTree {
                 break had_value;
             }
             // ≤ 1 child: tombstone + physical unlink (one retire).
-            self.smr.enter_write_phase(tid, &[f.parent, f.target]);
+            guard.enter_write_phase(&[f.parent, f.target]);
             t.version.write_lock();
             if t.is_marked() || t.value.load(Ordering::Acquire) == TOMB {
                 t.version.write_unlock();
-                self.smr.begin_op(tid);
+                guard.restart();
                 // Value gone: someone else deleted it.
                 // SAFETY: protected.
                 if unsafe { node(f.target) }.value.load(Ordering::Acquire) == TOMB {
@@ -392,18 +385,18 @@ impl ConcurrentMap for OccTree {
             t.version.write_unlock();
             // Best-effort physical unlink; failure leaves a routing node
             // that later operations clean up.
-            let _ = self.unlink(tid, f.parent, f.target, f.go_left);
+            let _ = self.unlink(&guard, f.parent, f.target, f.go_left);
             break true;
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
-    fn get(&self, tid: Tid, key: u64) -> Option<u64> {
+    fn get(&self, h: &SmrHandle, key: u64) -> Option<u64> {
         assert!(key <= MAX_KEY);
-        self.smr.begin_op(tid);
+        let guard = h.begin_op();
         let result = loop {
-            let Ok(f) = self.search(tid, key) else {
+            let Ok(f) = self.search(&guard, key) else {
                 continue;
             };
             if f.target == 0 {
@@ -413,7 +406,7 @@ impl ConcurrentMap for OccTree {
             let v = unsafe { node(f.target) }.value.load(Ordering::Acquire);
             break if v == TOMB { None } else { Some(v) };
         };
-        self.smr.end_op(tid);
+        drop(guard);
         result
     }
 
@@ -451,7 +444,7 @@ impl ConcurrentMap for OccTree {
         "occtree"
     }
 
-    fn smr(&self) -> &Arc<dyn Smr> {
+    fn smr(&self) -> &Smr {
         &self.smr
     }
 
@@ -482,15 +475,16 @@ mod tests {
     #[test]
     fn sequential_semantics() {
         let t = tree(SmrKind::Debra, 1);
-        assert!(t.insert(0, 10, 100));
-        assert!(t.insert(0, 5, 50));
-        assert!(t.insert(0, 15, 150));
-        assert!(!t.insert(0, 10, 999));
-        assert_eq!(t.get(0, 10), Some(100));
+        let h = t.smr().register(0);
+        assert!(t.insert(&h, 10, 100));
+        assert!(t.insert(&h, 5, 50));
+        assert!(t.insert(&h, 15, 150));
+        assert!(!t.insert(&h, 10, 999));
+        assert_eq!(t.get(&h, 10), Some(100));
         assert_eq!(t.collect_keys(), vec![5, 10, 15]);
-        assert!(t.remove(0, 10)); // two children -> tombstone
-        assert!(!t.contains(0, 10));
-        assert!(!t.remove(0, 10));
+        assert!(t.remove(&h, 10)); // two children -> tombstone
+        assert!(!t.contains(&h, 10));
+        assert!(!t.remove(&h, 10));
         assert_eq!(t.collect_keys(), vec![5, 15]);
         t.check_invariants().unwrap();
     }
@@ -498,11 +492,12 @@ mod tests {
     #[test]
     fn two_child_delete_allocates_and_retires_nothing() {
         let t = tree(SmrKind::Debra, 1);
-        t.insert(0, 10, 1);
-        t.insert(0, 5, 1);
-        t.insert(0, 15, 1);
+        let h = t.smr().register(0);
+        t.insert(&h, 10, 1);
+        t.insert(&h, 5, 1);
+        t.insert(&h, 15, 1);
         let before = t.smr().stats();
-        assert!(t.remove(0, 10));
+        assert!(t.remove(&h, 10));
         let after = t.smr().stats();
         assert_eq!(after.retired - before.retired, 0, "routing node stays");
     }
@@ -510,27 +505,29 @@ mod tests {
     #[test]
     fn tombstone_revival_allocates_nothing() {
         let t = tree(SmrKind::Debra, 1);
-        t.insert(0, 10, 1);
-        t.insert(0, 5, 1);
-        t.insert(0, 15, 1);
-        t.remove(0, 10); // tombstone
+        let h = t.smr().register(0);
+        t.insert(&h, 10, 1);
+        t.insert(&h, 5, 1);
+        t.insert(&h, 15, 1);
+        t.remove(&h, 10); // tombstone
         let allocs_before = t.alloc.snapshot().totals.allocs;
-        assert!(t.insert(0, 10, 42), "revival counts as insert");
+        assert!(t.insert(&h, 10, 42), "revival counts as insert");
         assert_eq!(
             t.alloc.snapshot().totals.allocs,
             allocs_before,
             "no allocation on revival"
         );
-        assert_eq!(t.get(0, 10), Some(42));
+        assert_eq!(t.get(&h, 10), Some(42));
     }
 
     #[test]
     fn leaf_delete_unlinks_physically() {
         let t = tree(SmrKind::Debra, 1);
-        t.insert(0, 10, 1);
-        t.insert(0, 5, 1);
+        let h = t.smr().register(0);
+        t.insert(&h, 10, 1);
+        t.insert(&h, 5, 1);
         let before = t.smr().stats().retired;
-        assert!(t.remove(0, 5)); // leaf -> physical unlink
+        assert!(t.remove(&h, 5)); // leaf -> physical unlink
         assert_eq!(t.smr().stats().retired - before, 1);
         assert_eq!(t.collect_keys(), vec![10]);
         t.check_invariants().unwrap();
@@ -538,39 +535,28 @@ mod tests {
 
     #[test]
     fn concurrent_stress_every_scheme() {
-        for kind in [
-            SmrKind::None,
-            SmrKind::Qsbr,
-            SmrKind::Rcu,
-            SmrKind::Debra,
-            SmrKind::TokenPeriodic,
-            SmrKind::Hp,
-            SmrKind::He,
-            SmrKind::Ibr,
-            SmrKind::Nbr,
-            SmrKind::NbrPlus,
-            SmrKind::Wfe,
-        ] {
+        for kind in SmrKind::ALL {
             let t = Arc::new(tree(kind, 4));
             let handles: Vec<_> = (0..4usize)
                 .map(|tid| {
                     let t = Arc::clone(&t);
                     std::thread::spawn(move || {
+                        let h = t.smr().register(tid);
                         let base = tid as u64;
                         for round in 0..300u64 {
                             for i in 0..8u64 {
                                 let k = base + 4 * (i + 8 * (round % 3));
                                 if round % 2 == 0 {
-                                    t.insert(tid, k, k + 1);
+                                    t.insert(&h, k, k + 1);
                                 } else {
-                                    t.remove(tid, k);
+                                    t.remove(&h, k);
                                 }
                             }
                             for i in 0..8u64 {
-                                let _ = t.get(tid, i * 13 % 97);
+                                let _ = t.get(&h, i * 13 % 97);
                             }
                         }
-                        t.smr().detach(tid);
+                        h.detach();
                     })
                 })
                 .collect();
@@ -603,11 +589,12 @@ mod tests {
         let cfg = SmrConfig::new(1).with_bag_cap(16);
         {
             let t = OccTree::new(build_smr(SmrKind::Debra, Arc::clone(&alloc), cfg));
+            let h = t.smr().register(0);
             for k in 0..100 {
-                t.insert(0, k, k);
+                t.insert(&h, k, k);
             }
             for k in 0..100 {
-                t.remove(0, k);
+                t.remove(&h, k);
             }
         }
         let snap = alloc.snapshot();

@@ -89,7 +89,7 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
     }
 
     let smr = build_smr(cfg.smr_kind, Arc::clone(&alloc), smr_cfg);
-    let scheme = smr.name();
+    let scheme = smr.name().to_string();
     let tree = build_tree(cfg.tree, smr);
 
     if cfg.prefill {
@@ -113,6 +113,9 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
             let stall = cfg.stall;
             let op_budget = cfg.op_budget;
             scope.spawn(move || {
+                // One registration per worker: the handle caches the
+                // scheme's per-thread hot state for the whole trial.
+                let handle = tree.smr().register(tid);
                 let mut rng = XorShift64::new((tid as u64 + 1) * 0x9E37_79B9 + 12345);
                 let mut ops = 0u64;
                 let mut next_stall_ns =
@@ -124,10 +127,9 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
                     if tid == 0 {
                         if let (Some((every_ms, for_ms)), Some(due)) = (stall, next_stall_ns) {
                             if epic_util::now_ns() >= due {
-                                let smr = tree.smr();
-                                smr.begin_op(tid);
+                                let stalled_op = handle.begin_op();
                                 std::thread::sleep(Duration::from_millis(for_ms));
-                                smr.end_op(tid);
+                                drop(stalled_op);
                                 next_stall_ns = Some(epic_util::now_ns() + every_ms * 1_000_000);
                             }
                         }
@@ -138,11 +140,11 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
                         let uniform = (rng.next_u64() >> 11) as f64 / 9_007_199_254_740_992.0;
                         let is_update = update_ratio >= 1.0 || uniform < update_ratio;
                         if !is_update {
-                            let _ = tree.get(tid, key);
+                            let _ = tree.get(&handle, key);
                         } else if rng.coin() {
-                            tree.insert(tid, key, key ^ 0xABCD);
+                            tree.insert(&handle, key, key ^ 0xABCD);
                         } else {
-                            tree.remove(tid, key);
+                            tree.remove(&handle, key);
                         }
                         ops += 1;
                     }
@@ -150,7 +152,7 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
                         break;
                     }
                 }
-                tree.smr().detach(tid);
+                handle.detach();
                 total_ops.fetch_add(ops, Ordering::Relaxed);
             });
         }
@@ -193,10 +195,13 @@ fn prefill(tree: &Arc<dyn ConcurrentMap>, cfg: &WorkloadCfg) {
             let inserted = Arc::clone(&inserted);
             let key_range = cfg.key_range;
             scope.spawn(move || {
+                // Transient registration: dropping the handle (no detach)
+                // releases the tid for the measured workers.
+                let handle = tree.smr().register(tid);
                 let mut rng = XorShift64::new((tid as u64 + 7) * 0x2545_F491 + 99);
                 while inserted.load(Ordering::Relaxed) < target {
                     let key = rng.next_bounded(key_range);
-                    if tree.insert(tid, key, key ^ 0xABCD) {
+                    if tree.insert(&handle, key, key ^ 0xABCD) {
                         inserted.fetch_add(1, Ordering::Relaxed);
                     }
                 }

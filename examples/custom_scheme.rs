@@ -1,6 +1,9 @@
-//! Implementing your own reclamation scheme against the public [`Smr`]
+//! Implementing your own reclamation scheme against the public [`RawSmr`]
 //! trait — and getting the paper's Amortized Free technique for free by
-//! embedding [`SchemeCommon`].
+//! embedding [`SchemeCommon`]. Wrapping the scheme in [`Smr::from_raw`]
+//! gives it the thread-bound `SmrHandle`/`OpGuard` surface (including the
+//! registration guard and the `protect_load` combinator) with no extra
+//! code: `local()` just declares the scheme passive.
 //!
 //! The scheme here is a deliberately minimal EBR ("MiniEbr"): one global
 //! epoch, per-thread announcements, and the conservative lag-2 free rule
@@ -17,7 +20,7 @@
 use epochs_too_epic::alloc::{build_allocator, AllocatorKind, CostModel, PoolAllocator, Tid};
 use epochs_too_epic::ds::{build_tree, TreeKind};
 use epochs_too_epic::smr::{
-    FreeMode, RetiredList, SchemeCommon, Smr, SmrConfig, SmrKind, SmrSnapshot,
+    FreeMode, RawSmr, RetiredList, SchemeCommon, SchemeLocal, Smr, SmrConfig, SmrKind, SmrSnapshot,
 };
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,7 +50,7 @@ impl MiniEbr {
             epoch: AtomicU64::new(2), // start ≥ 2 so tag - 2 never underflows
             announce: (0..n).map(|_| AtomicU64::new(QUIESCENT)).collect(),
             bags: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
-            common: SchemeCommon::new(alloc, cfg),
+            common: SchemeCommon::new("miniebr", alloc, cfg),
         }
     }
 
@@ -85,7 +88,7 @@ impl MiniEbr {
     }
 }
 
-impl Smr for MiniEbr {
+impl RawSmr for MiniEbr {
     fn begin_op(&self, tid: Tid) {
         self.common.relief(tid);
         let e = self.epoch.load(Ordering::SeqCst);
@@ -163,12 +166,22 @@ impl Smr for MiniEbr {
         self.common.stats.reset();
     }
 
-    fn name(&self) -> String {
-        self.common.scheme_name("miniebr")
+    fn name(&self) -> &str {
+        self.common.name()
     }
 
     fn kind(&self) -> SmrKind {
         SmrKind::Rcu // closest built-in family, for reporting purposes
+    }
+
+    fn max_threads(&self) -> usize {
+        self.common.n_threads()
+    }
+
+    fn local(&self, _tid: Tid) -> SchemeLocal {
+        // Epoch scheme: protect is a no-op, links never need re-validation
+        // — protect_load compiles down to one Acquire load.
+        SchemeLocal::passive()
     }
 
     fn allocator(&self) -> &Arc<dyn PoolAllocator> {
@@ -181,13 +194,14 @@ fn run(mode: FreeMode) {
     let alloc = build_allocator(AllocatorKind::Je, threads, CostModel::default_for_machine());
     let mut cfg = SmrConfig::new(threads).with_mode(mode).with_bag_cap(1024);
     cfg.af_backlog_cap = 16 * 1024; // relief valve well above steady backlog
-    let smr: Arc<dyn Smr> = Arc::new(MiniEbr::new(Arc::clone(&alloc), cfg));
+    let smr = Smr::from_raw(Arc::new(MiniEbr::new(Arc::clone(&alloc), cfg)));
     let tree = build_tree(TreeKind::Ab, smr);
 
     std::thread::scope(|scope| {
         for tid in 0..threads {
             let tree = Arc::clone(&tree);
             scope.spawn(move || {
+                let handle = tree.smr().register(tid);
                 let mut x = 0x2545_F491_4F6C_DD1Du64 ^ ((tid as u64) << 17);
                 for _ in 0..200_000u32 {
                     x ^= x << 13;
@@ -199,12 +213,12 @@ fn run(mode: FreeMode) {
                     // odds" — no churn at all.
                     let key = (x >> 16) % 8192;
                     if (x >> 40) & 1 == 0 {
-                        tree.insert(tid, key, key);
+                        tree.insert(&handle, key, key);
                     } else {
-                        tree.remove(tid, key);
+                        tree.remove(&handle, key);
                     }
                 }
-                tree.smr().detach(tid);
+                handle.detach();
             });
         }
     });

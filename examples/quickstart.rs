@@ -38,6 +38,8 @@ fn main() {
             let tree = Arc::clone(&tree);
             let stop = Arc::clone(&stop);
             scope.spawn(move || {
+                // Per-thread handle: the scheme's hot state, resolved once.
+                let handle = tree.smr().register(tid);
                 let mut x = 88_172_645_463_325_252u64 ^ (tid as u64) << 32;
                 let mut rng = move || {
                     x ^= x << 13;
@@ -50,12 +52,12 @@ fn main() {
                     // neighbouring outputs share low-bit structure).
                     let key = (rng() >> 16) % 8192;
                     if (rng() >> 40) & 1 == 0 {
-                        tree.insert(tid, key, key);
+                        tree.insert(&handle, key, key);
                     } else {
-                        tree.remove(tid, key);
+                        tree.remove(&handle, key);
                     }
                 }
-                tree.smr().detach(tid);
+                handle.detach();
             });
         }
         std::thread::sleep(std::time::Duration::from_millis(300));

@@ -16,22 +16,6 @@ const ALLOCATORS: [AllocatorKind; 5] = [
     AllocatorKind::Sys,
 ];
 
-const SCHEMES: [SmrKind; 13] = [
-    SmrKind::None,
-    SmrKind::Qsbr,
-    SmrKind::Rcu,
-    SmrKind::Debra,
-    SmrKind::TokenNaive,
-    SmrKind::TokenPassFirst,
-    SmrKind::TokenPeriodic,
-    SmrKind::Hp,
-    SmrKind::He,
-    SmrKind::Ibr,
-    SmrKind::Nbr,
-    SmrKind::NbrPlus,
-    SmrKind::Wfe,
-];
-
 const TREES: [TreeKind; 4] = [TreeKind::Ab, TreeKind::Occ, TreeKind::Dgt, TreeKind::Hm];
 
 #[test]
@@ -47,16 +31,19 @@ fn every_allocator_kind_builds_and_allocates() {
 
 #[test]
 fn every_smr_kind_builds_and_retires() {
-    for kind in SCHEMES {
+    for kind in SmrKind::ALL {
         let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
         let smr = build_smr(kind, Arc::clone(&alloc), SmrConfig::new(1));
         assert_eq!(smr.kind(), kind, "factory returned the wrong scheme");
-        smr.begin_op(0);
-        let p = alloc.alloc(0, 64);
-        smr.on_alloc(0, p);
-        smr.retire(0, p);
-        smr.end_op(0);
-        smr.detach(0);
+        {
+            let handle = smr.register(0);
+            {
+                let guard = handle.begin_op();
+                let p = guard.alloc(64);
+                guard.retire(p);
+            }
+            handle.detach();
+        }
         smr.quiesce_and_drain();
         let s = smr.stats();
         assert_eq!(s.retired, 1, "{kind:?} lost a retirement");
@@ -77,13 +64,14 @@ fn every_tree_kind_builds_over_every_scheme_family() {
             let alloc = build_allocator(AllocatorKind::Je, 1, CostModel::zero());
             let smr = build_smr(smr_kind, alloc, SmrConfig::new(1));
             let map = build_tree(tree_kind, smr);
-            assert!(map.insert(0, 7, 70), "{tree_kind:?}/{smr_kind:?} insert");
-            assert_eq!(map.get(0, 7), Some(70), "{tree_kind:?}/{smr_kind:?} get");
-            assert!(map.remove(0, 7), "{tree_kind:?}/{smr_kind:?} remove");
-            assert_eq!(map.get(0, 7), None);
+            let h = map.smr().register(0);
+            assert!(map.insert(&h, 7, 70), "{tree_kind:?}/{smr_kind:?} insert");
+            assert_eq!(map.get(&h, 7), Some(70), "{tree_kind:?}/{smr_kind:?} get");
+            assert!(map.remove(&h, 7), "{tree_kind:?}/{smr_kind:?} remove");
+            assert_eq!(map.get(&h, 7), None);
             assert_eq!(map.size(), 0);
             map.check_invariants().expect("invariants");
-            map.smr().detach(0);
+            h.detach();
             map.smr().quiesce_and_drain();
         }
     }
