@@ -1,0 +1,316 @@
+//! `epic-run bench-diff`: the microbench regression gate.
+//!
+//! Compares two `BENCH_*.json` artifacts (the committed baseline vs a
+//! fresh run) scheme by scheme and fails when either
+//!
+//! * a **timing** metric (any field containing `ns_per`) regresses by
+//!   more than the allowed fraction, or
+//! * an **allocation** metric (any field containing `alloc`) leaves the
+//!   allocation-free regime — the zero-allocs-per-op guarantees of the
+//!   retire pipeline and the handle path are binary, so a baseline of
+//!   ~0 that becomes non-zero fails regardless of the percentage knob.
+//!
+//! Improvements never fail, schemes added in the current file are
+//! ignored, and a scheme that *disappears* is a failure (a silently
+//! dropped bench row is how coverage rots).
+
+use crate::report::Table;
+use epic_util::json::Json;
+
+/// Allocation metrics are "zero" below this absolute level. The counting
+/// allocator reports a few 1e-4-scale allocs/op of legitimate warm-up
+/// (chunk-store growth in the `none` scheme); 1e-3 cleanly separates
+/// that from a real per-op allocation (≥ ~1e-2 in practice).
+const ALLOC_EPS: f64 = 1e-3;
+
+/// One metric comparison.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Scheme name (`"debra"`, `"nbr+"`, ...).
+    pub scheme: String,
+    /// Metric field name (`"get_ns_per_op"`, ...).
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub cur: f64,
+    /// `Some(reason)` when this row regressed.
+    pub regression: Option<String>,
+}
+
+/// The full comparison.
+#[derive(Debug, Clone)]
+pub struct BenchDiff {
+    /// All compared rows, baseline order.
+    pub rows: Vec<DiffRow>,
+    /// Failures that are not per-metric (disappeared schemes).
+    pub structural: Vec<String>,
+}
+
+impl BenchDiff {
+    /// All regression descriptions, structural first.
+    pub fn regressions(&self) -> Vec<String> {
+        let mut out = self.structural.clone();
+        out.extend(self.rows.iter().filter_map(|r| {
+            r.regression
+                .as_ref()
+                .map(|why| format!("{}/{}: {why}", r.scheme, r.metric))
+        }));
+        out
+    }
+
+    /// Renders the comparison as an aligned table.
+    pub fn render(&self, max_regress: f64) -> String {
+        let mut t = Table::new(
+            "bench_diff",
+            &format!(
+                "baseline vs current (max ns/op regression {:.0}%)",
+                max_regress * 100.0
+            ),
+            &[
+                "scheme", "metric", "baseline", "current", "delta", "verdict",
+            ],
+        );
+        for r in &self.rows {
+            let delta = if r.base.abs() > f64::EPSILON {
+                format!("{:+.1}%", (r.cur / r.base - 1.0) * 100.0)
+            } else if r.cur.abs() <= f64::EPSILON {
+                "0.0%".to_string()
+            } else {
+                "new".to_string()
+            };
+            t.row(vec![
+                r.scheme.clone(),
+                r.metric.clone(),
+                format!("{:.3}", r.base),
+                format!("{:.3}", r.cur),
+                delta,
+                match &r.regression {
+                    Some(_) => "REGRESS".to_string(),
+                    None => "ok".to_string(),
+                },
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// One scheme's name plus its numeric metric fields.
+type SchemeMetrics = (String, Vec<(String, f64)>);
+
+fn schemes_of(doc: &Json, which: &str) -> Result<Vec<SchemeMetrics>, String> {
+    let arr = doc
+        .get("schemes")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("bench-diff: {which} file has no \"schemes\" array"))?;
+    let mut out = Vec::new();
+    for entry in arr {
+        let name = entry
+            .get("scheme")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("bench-diff: {which} file has a scheme entry without a name"))?;
+        let mut metrics = Vec::new();
+        for (k, v) in entry.as_obj().into_iter().flatten() {
+            if let Json::Num(n) = v {
+                if k != "scheme" {
+                    metrics.push((k.clone(), *n));
+                }
+            }
+        }
+        out.push((name.to_string(), metrics));
+    }
+    Ok(out)
+}
+
+/// Compares two bench JSON texts. `max_regress` is the allowed
+/// fractional ns/op slowdown (0.15 = 15%).
+pub fn diff(baseline: &str, current: &str, max_regress: f64) -> Result<BenchDiff, String> {
+    let base = schemes_of(
+        &Json::parse(baseline).map_err(|e| format!("baseline: {e}"))?,
+        "baseline",
+    )?;
+    let cur = schemes_of(
+        &Json::parse(current).map_err(|e| format!("current: {e}"))?,
+        "current",
+    )?;
+    let mut rows = Vec::new();
+    let mut structural = Vec::new();
+    for (scheme, base_metrics) in &base {
+        let Some((_, cur_metrics)) = cur.iter().find(|(s, _)| s == scheme) else {
+            structural.push(format!(
+                "scheme '{scheme}' disappeared from the current file"
+            ));
+            continue;
+        };
+        for (metric, b) in base_metrics {
+            let Some((_, c)) = cur_metrics.iter().find(|(m, _)| m == metric) else {
+                structural.push(format!("metric '{scheme}/{metric}' disappeared"));
+                continue;
+            };
+            let regression = if metric.contains("alloc") {
+                // Binary gate: allocation-free must stay allocation-free.
+                // Non-zero baselines (e.g. `none`'s chunk-store growth)
+                // fall back to the percentage rule above the noise floor.
+                if *b <= ALLOC_EPS && *c > ALLOC_EPS {
+                    Some(format!(
+                        "was allocation-free ({b:.6}), now allocates ({c:.6})"
+                    ))
+                } else if *b > ALLOC_EPS && *c > b * (1.0 + max_regress) + ALLOC_EPS {
+                    Some(format!("allocs/op {b:.6} -> {c:.6}"))
+                } else {
+                    None
+                }
+            } else if metric.contains("ns_per") && *c > b * (1.0 + max_regress) {
+                Some(format!(
+                    "{b:.3} -> {c:.3} ns (+{:.1}%, limit {:.0}%)",
+                    (c / b - 1.0) * 100.0,
+                    max_regress * 100.0
+                ))
+            } else {
+                None
+            };
+            rows.push(DiffRow {
+                scheme: scheme.clone(),
+                metric: metric.clone(),
+                base: *b,
+                cur: *c,
+                regression,
+            });
+        }
+    }
+    Ok(BenchDiff { rows, structural })
+}
+
+/// Parses a `--max-regress` argument: `15%`, `0.15`, or `15` (≥ 1 is
+/// read as a percentage).
+pub fn parse_max_regress(s: &str) -> Result<f64, String> {
+    let (num, is_pct) = match s.strip_suffix('%') {
+        Some(rest) => (rest, true),
+        None => (s, false),
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("bench-diff: bad --max-regress '{s}'"))?;
+    let frac = if is_pct || v >= 1.0 { v / 100.0 } else { v };
+    if !(0.0..10.0).contains(&frac) {
+        return Err(format!("bench-diff: --max-regress '{s}' out of range"));
+    }
+    Ok(frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(schemes: &[(&str, &[(&str, f64)])]) -> String {
+        let mut out = String::from("{\"config\": {\"ops\": 1}, \"schemes\": [");
+        for (i, (name, metrics)) in schemes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"scheme\": \"{name}\""));
+            for (k, v) in *metrics {
+                out.push_str(&format!(", \"{k}\": {v}"));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    #[test]
+    fn within_threshold_passes_and_improvements_pass() {
+        let base = bench(&[(
+            "debra",
+            &[("get_ns_per_op", 100.0), ("mixed_allocs_per_op", 0.0)],
+        )]);
+        let cur = bench(&[(
+            "debra",
+            &[("get_ns_per_op", 110.0), ("mixed_allocs_per_op", 0.0)],
+        )]);
+        let d = diff(&base, &cur, 0.15).unwrap();
+        assert!(d.regressions().is_empty(), "{:?}", d.regressions());
+        let faster = bench(&[(
+            "debra",
+            &[("get_ns_per_op", 50.0), ("mixed_allocs_per_op", 0.0)],
+        )]);
+        assert!(diff(&base, &faster, 0.15).unwrap().regressions().is_empty());
+    }
+
+    #[test]
+    fn ns_regression_beyond_threshold_fails() {
+        let base = bench(&[("debra", &[("get_ns_per_op", 100.0)])]);
+        let cur = bench(&[("debra", &[("get_ns_per_op", 120.0)])]);
+        let d = diff(&base, &cur, 0.15).unwrap();
+        let regs = d.regressions();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("debra/get_ns_per_op"), "{regs:?}");
+        // The same delta passes a looser gate.
+        assert!(diff(&base, &cur, 0.25).unwrap().regressions().is_empty());
+    }
+
+    #[test]
+    fn alloc_free_regression_fails_regardless_of_percentage() {
+        let base = bench(&[("hp", &[("mixed_allocs_per_op", 0.0)])]);
+        let cur = bench(&[("hp", &[("mixed_allocs_per_op", 0.02)])]);
+        let d = diff(&base, &cur, 100.0).unwrap();
+        assert_eq!(d.regressions().len(), 1, "alloc gate must ignore the knob");
+        // Sub-epsilon noise (chunk-store warm-up) stays green.
+        let noisy = bench(&[("hp", &[("mixed_allocs_per_op", 0.0004)])]);
+        assert!(diff(&base, &noisy, 0.15).unwrap().regressions().is_empty());
+    }
+
+    #[test]
+    fn disappeared_scheme_or_metric_fails() {
+        let base = bench(&[
+            ("debra", &[("get_ns_per_op", 100.0)]),
+            ("hp", &[("get_ns_per_op", 300.0)]),
+        ]);
+        let cur = bench(&[("debra", &[("steady_ns_per_op", 90.0)])]);
+        let d = diff(&base, &cur, 0.15).unwrap();
+        let regs = d.regressions();
+        assert!(
+            regs.iter().any(|r| r.contains("'hp' disappeared")),
+            "{regs:?}"
+        );
+        assert!(
+            regs.iter().any(|r| r.contains("debra/get_ns_per_op")),
+            "{regs:?}"
+        );
+        // New schemes in current are fine.
+        let grown = bench(&[
+            ("debra", &[("get_ns_per_op", 100.0)]),
+            ("hp", &[("get_ns_per_op", 300.0)]),
+            ("newcomer", &[("get_ns_per_op", 1.0)]),
+        ]);
+        assert!(diff(&base, &grown, 0.15).unwrap().regressions().is_empty());
+    }
+
+    #[test]
+    fn real_artifact_shape_parses() {
+        // Mirrors results/BENCH_handle.json's layout.
+        let base = "{\n  \"config\": {\"ops\": 200000},\n  \"schemes\": [\n    {\"scheme\": \
+                    \"nbr+\", \"get_ns_per_op\": 136.302, \"mixed_ns_per_op\": 113.115, \
+                    \"mixed_allocs_per_op\": 0.000000}\n  ]\n}\n";
+        let d = diff(base, base, 0.15).unwrap();
+        assert_eq!(d.rows.len(), 3);
+        assert!(d.regressions().is_empty());
+        assert!(d.render(0.15).contains("nbr+"));
+    }
+
+    #[test]
+    fn max_regress_forms() {
+        assert_eq!(parse_max_regress("15%").unwrap(), 0.15);
+        assert_eq!(parse_max_regress("0.15").unwrap(), 0.15);
+        assert_eq!(parse_max_regress("15").unwrap(), 0.15);
+        assert!(parse_max_regress("nope").is_err());
+        assert!(parse_max_regress("-5%").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(diff("not json", "{}", 0.15).is_err());
+        assert!(diff("{}", "{}", 0.15).is_err(), "missing schemes array");
+    }
+}

@@ -1,98 +1,393 @@
-//! CLI entry point: run paper experiments by id, or check them against
-//! the paper-shape oracles.
+//! CLI entry point: run paper experiments by id, check them against the
+//! paper-shape oracles — serially or as parallel child processes — and
+//! merge sharded results.
 //!
 //! ```text
-//! epic-run list              # show all experiment ids
-//! epic-run fig11a_experiment1
-//! epic-run all               # the full evaluation
-//! epic-run check             # run everything + evaluate every oracle
+//! epic-run list [--shard K/N]        # show experiment ids (optionally one shard)
+//! epic-run fig11a_experiment1        # run one experiment in-process
+//! epic-run all                       # the full evaluation, serial
+//! epic-run check                     # run everything + evaluate every oracle
 //! epic-run check table3_allocators fig11b_experiment2
-//! EPIC_MILLIS=5000 EPIC_TRIALS=3 epic-run check all      # paper-scale
+//! epic-run check all -j 4            # process-isolated, 4 worker slots
+//! epic-run check all --shard 2/3 -j 4
+//! epic-run merge-shapes a.json b.json c.json   # fan shards back in
+//! epic-run bench-diff results/BENCH_handle_baseline.json \
+//!          results/BENCH_handle.json --max-regress 15%
+//! EPIC_MILLIS=5000 EPIC_TRIALS=3 epic-run check all -j $(nproc)  # paper-scale
 //! ```
 //!
 //! `check` prints a PASS/FAIL/ADVISORY verdict table, writes
-//! `results/SHAPES.json`, and exits non-zero iff a *strict* assertion
-//! failed (advisory misses are reported but never fatal — see
-//! DESIGN.md §6).
+//! `results/SHAPES.json` (`epic-shapes-v2`), and exits non-zero iff a
+//! *strict* assertion failed (advisory misses are reported but never
+//! fatal — see DESIGN.md §6). With `-j N` the experiments run as child
+//! processes (`--one` self-invocations) under the DESIGN.md §8 job
+//! engine; `epic-run <id>` stays serial and in-process, so
+//! single-experiment debugging is unchanged.
 
-use epic_harness::experiments::{all_experiments, run_by_name};
-use epic_harness::oracle::{evaluate, oracle_for, render_verdict_table, write_shapes_json};
+use epic_harness::experiments::{all_experiments, experiment_by_name, run_by_name, Experiment};
+use epic_harness::oracle::{evaluate, oracle_for, render_verdict_table};
+use epic_harness::shapes::{RunnerMeta, ShapeRecord, ShapesDoc};
+use epic_harness::{benchdiff, runner};
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let rest: Vec<&str> = args.iter().skip(1).map(String::as_str).collect();
     match args.first().map(String::as_str) {
-        None | Some("list") => {
-            println!("experiments (pass an id, 'all', or 'check [id...|all]'):");
-            for (id, _) in all_experiments() {
-                println!("  {id}");
-            }
-        }
+        None | Some("list") => std::process::exit(run_list(&rest)),
         Some("all") => {
-            for (id, f) in all_experiments() {
-                println!("\n##### {id} #####");
-                f();
+            for e in all_experiments() {
+                println!("\n##### {} #####", e.id);
+                (e.run)();
             }
         }
-        Some("check") => {
-            let rest: Vec<&str> = args[1..].iter().map(String::as_str).collect();
-            std::process::exit(run_check(&rest));
-        }
+        Some("check") => std::process::exit(run_check(&rest)),
+        Some("merge-shapes") => std::process::exit(run_merge(&rest)),
+        Some("bench-diff") => std::process::exit(run_bench_diff(&rest)),
+        Some("--one") => std::process::exit(run_one(&rest)),
         Some(name) => {
             if run_by_name(name).is_none() {
-                eprintln!("unknown experiment '{name}'; try 'list'");
+                unknown_experiment(name);
                 std::process::exit(2);
             }
         }
     }
 }
 
-/// Runs the selected experiments, evaluates their oracles, prints the
-/// verdict table, writes `SHAPES.json`. Returns the process exit code:
-/// 0 (all strict assertions hold), 1 (strict failure), 2 (bad id).
-fn run_check(ids: &[&str]) -> i32 {
+/// Prints the bad id plus every valid one — `check`, `--one`, and the
+/// bare-id form all fail through here.
+fn unknown_experiment(name: &str) {
+    eprintln!("unknown experiment '{name}'; valid ids:");
+    for e in all_experiments() {
+        eprintln!("  {}", e.id);
+    }
+}
+
+/// Parses `K/N` (1-based shard index).
+fn parse_shard(s: &str) -> Result<(usize, usize), String> {
+    let err = || format!("bad --shard '{s}' (expected K/N with 1 <= K <= N)");
+    let (k, n) = s.split_once('/').ok_or_else(err)?;
+    let (k, n) = (
+        k.trim().parse::<usize>().map_err(|_| err())?,
+        n.trim().parse::<usize>().map_err(|_| err())?,
+    );
+    if k == 0 || n == 0 || k > n {
+        return Err(err());
+    }
+    Ok((k, n))
+}
+
+/// Options shared by `list` and `check`.
+struct CheckOpts {
+    ids: Vec<String>,
+    jobs: usize,
+    shard: Option<(usize, usize)>,
+    timeout: Duration,
+}
+
+fn parse_check_opts(rest: &[&str]) -> Result<CheckOpts, String> {
+    let default_timeout = epic_util::topology::env_u64("EPIC_JOB_TIMEOUT_SECS", 600);
+    let mut opts = CheckOpts {
+        ids: Vec::new(),
+        jobs: 1,
+        shard: None,
+        timeout: Duration::from_secs(default_timeout),
+    };
+    let mut it = rest.iter();
+    while let Some(&arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&str, String> {
+            it.next()
+                .copied()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg {
+            "-j" | "--jobs" => {
+                let v = value_of(arg)?;
+                opts.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|j| *j >= 1)
+                    .ok_or_else(|| format!("bad {arg} '{v}' (expected a count >= 1)"))?;
+            }
+            "--shard" => opts.shard = Some(parse_shard(value_of(arg)?)?),
+            "--timeout-secs" => {
+                let v = value_of(arg)?;
+                opts.timeout = Duration::from_secs(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad --timeout-secs '{v}'"))?,
+                );
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            id => opts.ids.push(id.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+/// Resolves ids (empty / `all` = full registry, repeats collapse to the
+/// first occurrence), applies the shard filter. `Err` carries the exit
+/// code (2, after diagnostics).
+fn select(opts: &CheckOpts) -> Result<Vec<Experiment>, i32> {
     let registry = all_experiments();
-    let selected: Vec<(&str, epic_harness::experiments::ExperimentFn)> =
-        if ids.is_empty() || ids.contains(&"all") {
-            registry
-        } else {
-            let mut picked = Vec::new();
-            for want in ids {
-                match registry.iter().find(|(id, _)| id == want) {
-                    Some(&(id, f)) => picked.push((id, f)),
-                    None => {
-                        eprintln!("unknown experiment '{want}'; try 'list'");
-                        return 2;
-                    }
+    let mut selected = if opts.ids.is_empty() || opts.ids.iter().any(|s| s == "all") {
+        registry
+    } else {
+        let mut picked: Vec<Experiment> = Vec::new();
+        for want in &opts.ids {
+            match experiment_by_name(want) {
+                // Dedup: the job engine keys per-child artifacts by id,
+                // and merge rejects duplicate records.
+                Some(e) if picked.iter().any(|p| p.id == e.id) => {}
+                Some(e) => picked.push(e),
+                None => {
+                    unknown_experiment(want);
+                    return Err(2);
                 }
             }
-            picked
-        };
+        }
+        picked
+    };
+    if let Some((k, n)) = opts.shard {
+        let members = runner::shard_members(k, n);
+        selected.retain(|e| members.contains(e.id));
+    }
+    Ok(selected)
+}
 
-    let mut runs = Vec::new();
-    for (id, f) in selected {
-        println!("\n##### check {id} #####");
-        let oracle =
-            oracle_for(id).unwrap_or_else(|| panic!("experiment '{id}' has no registered oracle"));
-        let result = f();
+fn run_list(rest: &[&str]) -> i32 {
+    let opts = match parse_check_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let selected = match select(&opts) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    match opts.shard {
+        Some((k, n)) => println!("experiments in shard {k}/{n}:"),
+        None => println!("experiments (pass an id, 'all', or 'check [id...|all]'):"),
+    }
+    for e in selected {
+        println!("  {}", e.id);
+    }
+    0
+}
+
+/// Runs the selected experiments (in-process when `-j 1`, as child
+/// processes otherwise), evaluates their oracles, prints the verdict
+/// table, writes `SHAPES.json`. Returns the process exit code:
+/// 0 (all strict assertions hold), 1 (strict failure), 2 (bad usage).
+fn run_check(rest: &[&str]) -> i32 {
+    let opts = match parse_check_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let selected = match select(&opts) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    // A `check` that runs nothing must not report green: a typo'd
+    // shard/id combination would silently pass the CI oracle gate.
+    if selected.is_empty() {
+        eprintln!(
+            "check: the selection is empty (ids {:?}, shard {:?}) — refusing to pass a run \
+             that exercised nothing; use `epic-run list --shard K/N` to inspect shards",
+            opts.ids, opts.shard
+        );
+        return 2;
+    }
+    let shard_label = match opts.shard {
+        Some((k, n)) => format!("{k}/{n}"),
+        None => "1/1".to_string(),
+    };
+    let doc = if opts.jobs <= 1 {
+        check_serial(&selected, &shard_label)
+    } else {
+        match runner::run_parallel(&selected, opts.jobs, opts.timeout, &shard_label) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    };
+    finish_check(&doc)
+}
+
+/// The serial in-process path: identical to the pre-engine behavior
+/// (live per-assertion traces), plus per-experiment timing.
+fn check_serial(selected: &[Experiment], shard_label: &str) -> ShapesDoc {
+    let mut records = Vec::new();
+    for e in selected {
+        println!("\n##### check {} #####", e.id);
+        let oracle = oracle_for(e.id)
+            .unwrap_or_else(|| panic!("experiment '{}' has no registered oracle", e.id));
+        let started = Instant::now();
+        let result = (e.run)();
+        let duration_ms = started.elapsed().as_secs_f64() * 1e3;
         let report = evaluate(&oracle, &result);
         for o in &report.outcomes {
             let mark = if o.passed { "ok  " } else { "MISS" };
             println!("  [{mark}] ({}) {} — {}", o.tier.name(), o.label, o.detail);
         }
-        runs.push((report, result));
+        records.push(ShapeRecord::from_run(report, &result, duration_ms, 1));
     }
+    ShapesDoc {
+        records,
+        runner: RunnerMeta {
+            shard: shard_label.to_string(),
+            jobs: 1,
+        },
+    }
+}
 
-    let reports: Vec<_> = runs.iter().map(|(r, _)| r.clone()).collect();
-    println!("\n{}", render_verdict_table(&reports));
-    let path = write_shapes_json(&runs);
+/// Shared tail of `check` and `merge-shapes`: verdict table, SHAPES.json,
+/// summary line, exit code.
+fn finish_check(doc: &ShapesDoc) -> i32 {
+    println!("\n{}", render_verdict_table(&doc.reports()));
+    let path = doc.write_default();
     println!("wrote {}", path.display());
-
-    let strict_failures: usize = reports.iter().map(|r| r.strict_failures()).sum();
-    let advisory_failures: usize = reports.iter().map(|r| r.advisory_failures()).sum();
+    let strict_failures = doc.strict_failures();
     println!(
-        "check: {} experiments, {strict_failures} strict failures, {advisory_failures} advisory \
-         misses",
-        reports.len()
+        "check: {} experiments, {strict_failures} strict failures, {} advisory misses",
+        doc.records.len(),
+        doc.advisory_failures()
     );
     i32::from(strict_failures > 0)
+}
+
+/// The internal child mode: run exactly one experiment in-process and
+/// write a single-record shapes document to `--result-json`. Exit code
+/// 0/1 mirrors the oracle verdict; 2 is bad usage; 3 means the result
+/// could not be written (the parent treats that as a crash).
+fn run_one(rest: &[&str]) -> i32 {
+    let (id, json_path) = match rest {
+        [id, "--result-json", path] => (*id, *path),
+        _ => {
+            eprintln!("usage: epic-run --one <id> --result-json <path>");
+            return 2;
+        }
+    };
+    let Some(e) = experiment_by_name(id) else {
+        unknown_experiment(id);
+        return 2;
+    };
+    let oracle =
+        oracle_for(id).unwrap_or_else(|| panic!("experiment '{id}' has no registered oracle"));
+    let started = Instant::now();
+    let result = (e.run)();
+    let duration_ms = started.elapsed().as_secs_f64() * 1e3;
+    let report = evaluate(&oracle, &result);
+    for o in &report.outcomes {
+        let mark = if o.passed { "ok  " } else { "MISS" };
+        println!("  [{mark}] ({}) {} — {}", o.tier.name(), o.label, o.detail);
+    }
+    let strict_failures = report.strict_failures();
+    let doc = ShapesDoc {
+        records: vec![ShapeRecord::from_run(report, &result, duration_ms, 1)],
+        runner: RunnerMeta {
+            shard: "job".to_string(),
+            jobs: 1,
+        },
+    };
+    if let Err(err) = std::fs::write(json_path, doc.to_json()) {
+        eprintln!("--one {id}: could not write {json_path}: {err}");
+        return 3;
+    }
+    i32::from(strict_failures > 0)
+}
+
+/// `merge-shapes <files...>`: combine shard documents (v1 or v2) into
+/// one verdict table + `results/SHAPES.json` with a single exit code.
+fn run_merge(rest: &[&str]) -> i32 {
+    if rest.is_empty() {
+        eprintln!("usage: epic-run merge-shapes <shapes.json...>");
+        return 2;
+    }
+    let mut docs = Vec::new();
+    for path in rest {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("merge-shapes: cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        match ShapesDoc::parse(&text) {
+            Ok(doc) => {
+                println!(
+                    "merge-shapes: {path}: {} experiments (shard {}, jobs {})",
+                    doc.records.len(),
+                    doc.runner.shard,
+                    doc.runner.jobs
+                );
+                docs.push(doc);
+            }
+            Err(e) => {
+                eprintln!("merge-shapes: {path}: {e}");
+                return 2;
+            }
+        }
+    }
+    match ShapesDoc::merge(docs) {
+        Ok(merged) => finish_check(&merged),
+        Err(e) => {
+            eprintln!("{e}");
+            2
+        }
+    }
+}
+
+/// `bench-diff <baseline.json> <current.json> [--max-regress P%]`.
+fn run_bench_diff(rest: &[&str]) -> i32 {
+    let (base_path, cur_path, max_regress) = match rest {
+        [b, c] => (*b, *c, 0.15),
+        [b, c, "--max-regress", p] => match benchdiff::parse_max_regress(p) {
+            Ok(frac) => (*b, *c, frac),
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+        _ => {
+            eprintln!(
+                "usage: epic-run bench-diff <baseline.json> <current.json> [--max-regress 15%]"
+            );
+            return 2;
+        }
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("bench-diff: cannot read {path}: {e}"))
+    };
+    let result = read(base_path)
+        .and_then(|base| read(cur_path).map(|cur| (base, cur)))
+        .and_then(|(base, cur)| benchdiff::diff(&base, &cur, max_regress));
+    let d = match result {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    println!("{}", d.render(max_regress));
+    let regressions = d.regressions();
+    if regressions.is_empty() {
+        println!(
+            "bench-diff: {} metrics compared, no regressions ({base_path} -> {cur_path})",
+            d.rows.len()
+        );
+        0
+    } else {
+        eprintln!("bench-diff: {} regression(s):", regressions.len());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        1
+    }
 }

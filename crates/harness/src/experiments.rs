@@ -1309,51 +1309,78 @@ pub fn ablation_update_ratio() -> ExperimentResult {
 /// result.
 pub type ExperimentFn = fn() -> ExperimentResult;
 
+/// One registry entry: the experiment's stable id, its entry point, and
+/// a relative cost hint for schedulers.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// The stable experiment id (what `epic-run` accepts).
+    pub id: &'static str,
+    /// The entry point.
+    pub run: ExperimentFn,
+    /// Relative cost hint: roughly how many timed trial slices the
+    /// experiment runs at default scale (sweep length ≈ 5). The process
+    /// runner ([`crate::runner`]) uses it for LPT slot assignment, and
+    /// the shard partitioner balances shards by it. Only the *ordering*
+    /// matters; the units are deliberately coarse.
+    pub cost: u32,
+}
+
 /// Every experiment, in paper order.
-pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
+pub fn all_experiments() -> Vec<Experiment> {
+    fn e(id: &'static str, run: ExperimentFn, cost: u32) -> Experiment {
+        Experiment { id, run, cost }
+    }
     vec![
-        ("fig1_scaling", fig1_scaling as ExperimentFn),
-        ("table1_je_overhead", table1_je_overhead),
-        ("fig2_timeline_batch", fig2_timeline_batch),
-        ("fig3_timeline_af", fig3_timeline_af),
-        ("table2_af_counters", table2_af_counters),
-        ("fig4_garbage", fig4_garbage),
-        ("table3_allocators", table3_allocators),
-        ("fig5_6_naive_token", fig5_6_naive_token),
-        ("fig7_passfirst", fig7_passfirst),
-        ("fig8_periodic", fig8_periodic),
-        ("fig9_10_token_af", fig9_10_token_af),
-        ("table4_token_variants", table4_token_variants),
-        ("fig11a_experiment1", fig11a_experiment1),
-        ("fig11b_experiment2", fig11b_experiment2),
-        ("fig12_orig_vs_af_sweep", fig12_orig_vs_af_sweep),
-        ("fig13_dgt_orig_vs_af", fig13_dgt_orig_vs_af),
-        ("fig14_dgt_experiment1", fig14_dgt_experiment1),
-        ("fig15_16_machine_presets", fig15_16_machine_presets),
-        ("fig17_visible_frees", fig17_visible_frees),
-        ("fig18_29_allocator_timelines", fig18_29_allocator_timelines),
-        ("ablation_af_drain_rate", ablation_af_drain_rate),
-        ("ablation_tcache_cap", ablation_tcache_cap),
-        ("ablation_arena_count", ablation_arena_count),
-        ("ablation_token_check_period", ablation_token_check_period),
-        ("ablation_bag_cap", ablation_bag_cap),
-        ("ablation_background_free", ablation_background_free),
-        ("ablation_stalled_thread", ablation_stalled_thread),
-        ("ablation_update_ratio", ablation_update_ratio),
-        ("ablation_pooled", ablation_pooled),
-        ("ablation_allocator_fix", ablation_allocator_fix),
-        ("ablation_ds_generality", ablation_ds_generality),
+        e("fig1_scaling", fig1_scaling, 20),
+        e("table1_je_overhead", table1_je_overhead, 3),
+        e("fig2_timeline_batch", fig2_timeline_batch, 2),
+        e("fig3_timeline_af", fig3_timeline_af, 2),
+        e("table2_af_counters", table2_af_counters, 2),
+        e("fig4_garbage", fig4_garbage, 2),
+        e("table3_allocators", table3_allocators, 6),
+        e("fig5_6_naive_token", fig5_6_naive_token, 6),
+        e("fig7_passfirst", fig7_passfirst, 1),
+        e("fig8_periodic", fig8_periodic, 1),
+        e("fig9_10_token_af", fig9_10_token_af, 6),
+        e("table4_token_variants", table4_token_variants, 4),
+        e("fig11a_experiment1", fig11a_experiment1, 65),
+        e("fig11b_experiment2", fig11b_experiment2, 20),
+        e("fig12_orig_vs_af_sweep", fig12_orig_vs_af_sweep, 100),
+        e("fig13_dgt_orig_vs_af", fig13_dgt_orig_vs_af, 100),
+        e("fig14_dgt_experiment1", fig14_dgt_experiment1, 65),
+        e("fig15_16_machine_presets", fig15_16_machine_presets, 12),
+        e("fig17_visible_frees", fig17_visible_frees, 2),
+        e(
+            "fig18_29_allocator_timelines",
+            fig18_29_allocator_timelines,
+            12,
+        ),
+        e("ablation_af_drain_rate", ablation_af_drain_rate, 4),
+        e("ablation_tcache_cap", ablation_tcache_cap, 3),
+        e("ablation_arena_count", ablation_arena_count, 3),
+        e(
+            "ablation_token_check_period",
+            ablation_token_check_period,
+            3,
+        ),
+        e("ablation_bag_cap", ablation_bag_cap, 8),
+        e("ablation_background_free", ablation_background_free, 3),
+        e("ablation_stalled_thread", ablation_stalled_thread, 12),
+        e("ablation_update_ratio", ablation_update_ratio, 6),
+        e("ablation_pooled", ablation_pooled, 3),
+        e("ablation_allocator_fix", ablation_allocator_fix, 3),
+        e("ablation_ds_generality", ablation_ds_generality, 8),
     ]
+}
+
+/// Looks up one registry entry by id.
+pub fn experiment_by_name(name: &str) -> Option<Experiment> {
+    all_experiments().into_iter().find(|e| e.id == name)
 }
 
 /// Runs one experiment by id; `None` if the id is unknown.
 pub fn run_by_name(name: &str) -> Option<ExperimentResult> {
-    for (id, f) in all_experiments() {
-        if id == name {
-            return Some(f());
-        }
-    }
-    None
+    experiment_by_name(name).map(|e| (e.run)())
 }
 
 #[cfg(test)]
@@ -1364,8 +1391,23 @@ mod tests {
     fn registry_is_complete_and_unique() {
         let all = all_experiments();
         assert!(all.len() >= 25, "expected the full experiment index");
-        let ids: std::collections::HashSet<_> = all.iter().map(|(id, _)| id).collect();
+        let ids: std::collections::HashSet<_> = all.iter().map(|e| e.id).collect();
         assert_eq!(ids.len(), all.len(), "duplicate experiment ids");
         assert!(run_by_name("nonexistent_experiment").is_none());
+        assert!(experiment_by_name("fig4_garbage").is_some());
+    }
+
+    #[test]
+    fn cost_hints_are_positive_and_rank_the_heavy_sweeps_on_top() {
+        let all = all_experiments();
+        assert!(
+            all.iter().all(|e| e.cost > 0),
+            "zero-cost entries break LPT"
+        );
+        let cost = |id: &str| all.iter().find(|e| e.id == id).unwrap().cost;
+        // The two ORIG-vs-AF full sweeps are the heaviest jobs; any
+        // single-trial timeline figure must rank below them.
+        assert!(cost("fig12_orig_vs_af_sweep") > cost("fig4_garbage"));
+        assert!(cost("fig13_dgt_orig_vs_af") > cost("table4_token_variants"));
     }
 }

@@ -21,16 +21,21 @@
 //! | `EPIC_THREADS` | comma-separated thread counts for sweeps | powers of 2 up to 2×CPUs |
 //! | `EPIC_BAG_CAP` | limbo-bag capacity (paper: 32768) | 4096 |
 //! | `EPIC_RESULTS` | artifact output directory | `results/` |
+//! | `EPIC_JOB_TIMEOUT_SECS` | per-child timeout for `epic-run check -j N` | 600 |
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod benchdiff;
 pub mod config;
 pub mod experiments;
 pub mod oracle;
 pub mod report;
+pub mod runner;
+pub mod shapes;
 pub mod workload;
 
 pub use config::{ExperimentScale, WorkloadCfg};
 pub use report::{results_dir, ExperimentResult, Table};
+pub use shapes::{RunnerMeta, ShapeRecord, ShapesDoc};
 pub use workload::{run_trial, run_trials, TrialResult, TrialSummary};

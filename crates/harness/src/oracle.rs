@@ -22,7 +22,7 @@
 //! however noisy the box happens to be (DESIGN.md §6).
 
 use crate::config::ExperimentScale;
-use crate::report::{push_json_str, results_dir, ExperimentResult, Table};
+use crate::report::{ExperimentResult, Table};
 
 /// How a failed assertion affects the overall verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1247,55 +1247,6 @@ pub fn render_verdict_table(reports: &[OracleReport]) -> String {
     t.render()
 }
 
-/// Serializes check results (+ the raw structured results) to the
-/// `SHAPES.json` schema and writes it under [`results_dir`]. Returns the
-/// path written.
-pub fn write_shapes_json(runs: &[(OracleReport, ExperimentResult)]) -> std::path::PathBuf {
-    let mut out = String::from("{\n  \"schema\": \"epic-shapes-v1\",\n  \"experiments\": [\n");
-    for (i, (report, result)) in runs.iter().enumerate() {
-        if i > 0 {
-            out.push_str(",\n");
-        }
-        out.push_str("    {\n      \"id\": ");
-        push_json_str(&mut out, &report.experiment);
-        out.push_str(",\n      \"claim\": ");
-        push_json_str(&mut out, &report.claim);
-        out.push_str(",\n      \"verdict\": ");
-        push_json_str(&mut out, report.verdict());
-        out.push_str(&format!(
-            ",\n      \"strict_failures\": {},\n      \"advisory_failures\": {},\n      \
-             \"assertions\": [\n",
-            report.strict_failures(),
-            report.advisory_failures()
-        ));
-        for (j, o) in report.outcomes.iter().enumerate() {
-            if j > 0 {
-                out.push_str(",\n");
-            }
-            out.push_str("        {\"label\": ");
-            push_json_str(&mut out, &o.label);
-            out.push_str(", \"tier\": ");
-            push_json_str(&mut out, o.tier.name());
-            out.push_str(&format!(", \"passed\": {}, \"detail\": ", o.passed));
-            push_json_str(&mut out, &o.detail);
-            out.push('}');
-        }
-        out.push_str("\n      ],\n      \"result\": ");
-        out.push_str(&result.to_json());
-        out.push_str("\n    }");
-    }
-    let strict_failures: usize = runs.iter().map(|(r, _)| r.strict_failures()).sum();
-    out.push_str(&format!(
-        "\n  ],\n  \"total_strict_failures\": {}\n}}\n",
-        strict_failures
-    ));
-    let path = results_dir().join("SHAPES.json");
-    if let Err(e) = std::fs::write(&path, out) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    }
-    path
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1448,7 +1399,7 @@ mod tests {
         let oracles = all_oracles();
         let experiment_ids: Vec<&str> = crate::experiments::all_experiments()
             .iter()
-            .map(|(id, _)| *id)
+            .map(|e| e.id)
             .collect();
         let oracle_ids: Vec<&str> = oracles.iter().map(|o| o.experiment).collect();
         assert_eq!(
@@ -1468,29 +1419,5 @@ mod tests {
             );
             assert!(!o.claim.is_empty(), "{} has no claim", o.experiment);
         }
-    }
-
-    #[test]
-    fn shapes_json_is_written_and_parseable_shape() {
-        let _guard = crate::report::env_lock();
-        let dir = std::env::temp_dir().join("epic_oracle_test");
-        std::env::set_var("EPIC_RESULTS", &dir);
-        let r = result_with(&[("a", f64::NAN), ("b", 2.0)], &[("s", &[1.0, 2.0][..])]);
-        let oracle = Oracle {
-            experiment: "test",
-            claim: "quote \" and backslash \\",
-            assertions: vec![ordering("b over a", "b", "a")],
-        };
-        let report = evaluate(&oracle, &r);
-        let path = write_shapes_json(&[(report, r)]);
-        let text = std::fs::read_to_string(&path).expect("SHAPES.json written");
-        std::env::remove_var("EPIC_RESULTS");
-        assert!(text.contains("\"schema\": \"epic-shapes-v1\""));
-        assert!(text.contains("\"total_strict_failures\": 1"));
-        // The NaN metric *value* must serialize as null (a bare NaN token
-        // is invalid JSON; inside quoted detail strings it is fine).
-        assert!(text.contains("\"a\": null"), "NaN value leaked: {text}");
-        assert!(!text.contains(": NaN"), "bare NaN token leaked: {text}");
-        assert!(text.contains("\\\""), "quotes must be escaped");
     }
 }

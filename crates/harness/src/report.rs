@@ -121,36 +121,17 @@ impl ExperimentResult {
     }
 }
 
-/// Formats an `f64` as a JSON number (`null` for NaN/±inf).
+/// Formats an `f64` as a JSON number (`null` for NaN/±inf). Delegates
+/// to [`epic_util::json::render_num`] so every writer in the workspace
+/// shares one number convention (and the parser's round trip holds).
 pub fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        // Round-trippable without scientific notation surprises.
-        if v == v.trunc() && v.abs() < 1e15 {
-            format!("{v:.1}")
-        } else {
-            format!("{v}")
-        }
-    } else {
-        "null".to_string()
-    }
+    epic_util::json::render_num(v)
 }
 
-/// Appends a JSON string literal (quotes + escapes).
+/// Appends a JSON string literal (quotes + escapes). Delegates to
+/// [`epic_util::json::push_str_literal`] — one escape rule everywhere.
 pub fn push_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    epic_util::json::push_str_literal(out, s);
 }
 
 /// A simple aligned table with CSV export.

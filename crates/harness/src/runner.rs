@@ -1,0 +1,414 @@
+//! The process-isolated experiment job engine behind
+//! `epic-run check -j N [--shard K/N]`.
+//!
+//! Experiments are embarrassingly parallel **across processes** but must
+//! never share one: each assumes exclusive ownership of its worker
+//! threads, the counting global allocator, and the `EPIC_*` environment.
+//! So the engine schedules registry entries as *child processes* — the
+//! binary re-invokes itself as `epic-run --one <id> --result-json <p>` —
+//! with:
+//!
+//! * `jobs` concurrent worker slots, filled longest-processing-time
+//!   first using the registry's [`Experiment::cost`] hints, so the
+//!   heaviest sweeps start first and wall-clock approaches
+//!   `max(shard)` instead of `sum(experiments)`;
+//! * a per-job timeout and one retry after a crash (panic, signal,
+//!   timeout) — a completed run that merely *fails its oracle* is a
+//!   result, not a crash, and is never retried;
+//! * live one-line progress, with child stdout/stderr captured to
+//!   `<results>/jobs/<id>.log`;
+//! * a deterministic merge: per-job documents combine in registry order
+//!   no matter the completion order.
+//!
+//! Sharding ([`partition`]) splits the registry into `N` stable,
+//! cost-balanced id sets so `N` CI jobs (or `N` big-box invocations) can
+//! each run one shard and `epic-run merge-shapes` fans the results back
+//! into one verdict table.
+
+use crate::experiments::{all_experiments, Experiment};
+use crate::oracle::{oracle_for, AssertionOutcome, OracleReport, Tier};
+use crate::report::results_dir;
+use crate::shapes::{RunnerMeta, ShapeRecord, ShapesDoc};
+use std::collections::HashSet;
+use std::fs::File;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// FNV-1a over the id bytes: the stable hash the shard partitioner
+/// orders by. Not a quality hash — a *frozen* one: the shard an id lands
+/// in must never depend on compiler, platform, or std internals.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Splits the full registry into `n` disjoint shards, returned in
+/// registry order within each shard.
+///
+/// The assignment is a pure function of the id set and the static cost
+/// hints: ids are ordered by (cost desc, FNV-1a hash, id) and dealt
+/// serpentine-wise (`1..n`, `n..1`, ...) across the shards, so
+///
+/// * every id lands in exactly one shard,
+/// * shard sizes differ by at most one and heavy experiments spread
+///   evenly (the hash only tie-breaks equal costs),
+/// * the same binary always produces the same shards — CI matrix jobs
+///   and big-box invocations can compute them independently.
+pub fn partition(n: usize) -> Vec<Vec<&'static str>> {
+    assert!(n >= 1, "shard count must be >= 1");
+    let mut entries = all_experiments();
+    entries.sort_by(|a, b| {
+        b.cost
+            .cmp(&a.cost)
+            .then(fnv1a(a.id).cmp(&fnv1a(b.id)))
+            .then(a.id.cmp(b.id))
+    });
+    let mut shards = vec![Vec::new(); n];
+    for (i, e) in entries.iter().enumerate() {
+        let (round, pos) = (i / n, i % n);
+        let s = if round % 2 == 0 { pos } else { n - 1 - pos };
+        shards[s].push(e.id);
+    }
+    let order: std::collections::HashMap<&str, usize> = all_experiments()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.id, i))
+        .collect();
+    for shard in &mut shards {
+        shard.sort_by_key(|id| order[id]);
+    }
+    shards
+}
+
+/// The id set of shard `k` of `n` (`k` is 1-based, as on the CLI).
+pub fn shard_members(k: usize, n: usize) -> HashSet<&'static str> {
+    assert!(k >= 1 && k <= n, "shard index {k} out of 1..={n}");
+    partition(n).swap_remove(k - 1).into_iter().collect()
+}
+
+/// Where per-job artifacts (result JSON + captured log) go.
+fn jobs_dir() -> PathBuf {
+    let dir = results_dir().join("jobs");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+struct RunningJob {
+    entry: Experiment,
+    attempt: u32,
+    child: Child,
+    started: Instant,
+    json_path: PathBuf,
+    log_path: PathBuf,
+}
+
+/// The record the engine synthesizes when an experiment process crashed
+/// (or timed out) on both attempts: a single failed strict assertion, so
+/// the merged verdict table reports `FAIL` instead of silently dropping
+/// the experiment.
+fn crash_record(id: &str, attempts: u32, reason: &str, log_path: &std::path::Path) -> ShapeRecord {
+    let claim = oracle_for(id)
+        .map(|o| o.claim.to_string())
+        .unwrap_or_default();
+    ShapeRecord {
+        report: OracleReport {
+            experiment: id.to_string(),
+            claim,
+            outcomes: vec![AssertionOutcome {
+                label: "experiment process completed".to_string(),
+                tier: Tier::Strict,
+                passed: false,
+                detail: format!("{reason} (see {})", log_path.display()),
+            }],
+        },
+        duration_ms: 0.0,
+        attempts,
+        result_json: "null".to_string(),
+    }
+}
+
+fn spawn_job(entry: Experiment, attempt: u32) -> std::io::Result<RunningJob> {
+    let dir = jobs_dir();
+    let json_path = dir.join(format!("{}.json", entry.id));
+    let log_path = dir.join(format!("{}.log", entry.id));
+    let _ = std::fs::remove_file(&json_path); // stale results must not count
+    let log = File::create(&log_path)?;
+    let child = Command::new(std::env::current_exe()?)
+        .arg("--one")
+        .arg(entry.id)
+        .arg("--result-json")
+        .arg(&json_path)
+        .stdin(Stdio::null())
+        .stdout(Stdio::from(log.try_clone()?))
+        .stderr(Stdio::from(log))
+        .spawn()?;
+    Ok(RunningJob {
+        entry,
+        attempt,
+        child,
+        started: Instant::now(),
+        json_path,
+        log_path,
+    })
+}
+
+/// How a finished child is classified.
+enum JobOutcome {
+    /// The child ran to completion and wrote a parseable result document
+    /// (its oracle verdict may still be FAIL — that is a *result*).
+    Completed(ShapeRecord),
+    /// Panic, signal, unparseable/missing result, or timeout.
+    Crashed(String),
+}
+
+/// `killed` means the *parent* killed the child at the timeout — a
+/// child that beat the deadline on its own is classified purely by its
+/// result file, however close to the limit it finished.
+fn classify(job: &RunningJob, killed: bool, exit: Option<i32>) -> JobOutcome {
+    if killed {
+        return JobOutcome::Crashed(format!(
+            "timed out after {:.0}s and was killed",
+            job.started.elapsed().as_secs_f64()
+        ));
+    }
+    match std::fs::read_to_string(&job.json_path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| ShapesDoc::parse(&text))
+    {
+        Ok(doc) if doc.records.len() == 1 => {
+            let mut rec = doc.records.into_iter().next().unwrap();
+            rec.attempts = job.attempt;
+            JobOutcome::Completed(rec)
+        }
+        Ok(doc) => JobOutcome::Crashed(format!(
+            "child wrote {} records instead of 1",
+            doc.records.len()
+        )),
+        Err(e) => match exit {
+            Some(code) => JobOutcome::Crashed(format!("exit code {code}, no usable result: {e}")),
+            None => JobOutcome::Crashed(format!("killed by signal, no usable result: {e}")),
+        },
+    }
+}
+
+/// Runs `selected` as child processes on `jobs` worker slots and merges
+/// the per-job documents into one [`ShapesDoc`] (records in registry
+/// order). `shard_label` is recorded as runner provenance. Only spawn
+/// infrastructure errors are `Err` — experiment failures and crashes are
+/// *records* in the returned document.
+pub fn run_parallel(
+    selected: &[Experiment],
+    jobs: usize,
+    timeout: Duration,
+    shard_label: &str,
+) -> Result<ShapesDoc, String> {
+    let jobs = jobs.max(1);
+    let total = selected.len();
+    // LPT: heaviest first. `pop()` takes from the back, so sort ascending.
+    let mut queue: Vec<(Experiment, u32)> = {
+        let mut entries = selected.to_vec();
+        entries.sort_by(|a, b| a.cost.cmp(&b.cost).then(a.id.cmp(b.id)));
+        entries.into_iter().map(|e| (e, 1)).collect()
+    };
+    let mut running: Vec<RunningJob> = Vec::new();
+    let mut records: Vec<ShapeRecord> = Vec::new();
+    println!(
+        "runner: {total} experiments on {jobs} worker slots (shard {shard_label}, timeout {}s, \
+         logs under {})",
+        timeout.as_secs(),
+        jobs_dir().display()
+    );
+    while !queue.is_empty() || !running.is_empty() {
+        while running.len() < jobs {
+            let Some((entry, attempt)) = queue.pop() else {
+                break;
+            };
+            let job = spawn_job(entry, attempt)
+                .map_err(|e| format!("runner: could not spawn child for '{}': {e}", entry.id))?;
+            println!(
+                "[start] {} (cost {}, attempt {attempt})",
+                entry.id, entry.cost
+            );
+            running.push(job);
+        }
+        let mut i = 0;
+        while i < running.len() {
+            let timed_out = running[i].started.elapsed() > timeout;
+            // (exit, killed-by-us): a child that exited on its own is
+            // never treated as timed out, even if observed past the
+            // deadline — its result file decides.
+            let exited = match running[i].child.try_wait() {
+                Ok(Some(status)) => Some((status.code(), false)),
+                Ok(None) if timed_out => {
+                    let _ = running[i].child.kill();
+                    let _ = running[i].child.wait();
+                    Some((None, true))
+                }
+                Ok(None) => None,
+                Err(_) => Some((None, false)),
+            };
+            let Some((exit, killed)) = exited else {
+                i += 1;
+                continue;
+            };
+            let job = running.swap_remove(i);
+            let secs = job.started.elapsed().as_secs_f64();
+            match classify(&job, killed, exit) {
+                JobOutcome::Completed(rec) => {
+                    println!(
+                        "[{:>2}/{total}] {:<32} {:<8} ({secs:.1}s, attempt {})",
+                        records.len() + 1,
+                        job.entry.id,
+                        rec.report.verdict(),
+                        job.attempt
+                    );
+                    records.push(rec);
+                }
+                JobOutcome::Crashed(reason) if job.attempt == 1 => {
+                    println!(
+                        "[retry] {}: {reason} — retrying once (log: {})",
+                        job.entry.id,
+                        job.log_path.display()
+                    );
+                    queue.push((job.entry, 2));
+                }
+                JobOutcome::Crashed(reason) => {
+                    println!(
+                        "[{:>2}/{total}] {:<32} CRASHED  ({secs:.1}s, attempt {}): {reason}",
+                        records.len() + 1,
+                        job.entry.id,
+                        job.attempt
+                    );
+                    records.push(crash_record(
+                        job.entry.id,
+                        job.attempt,
+                        &reason,
+                        &job.log_path,
+                    ));
+                }
+            }
+        }
+        if !running.is_empty() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    let order: std::collections::HashMap<&str, usize> = all_experiments()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.id, i))
+        .collect();
+    records.sort_by_key(|r| {
+        order
+            .get(r.report.experiment.as_str())
+            .copied()
+            .unwrap_or(usize::MAX)
+    });
+    Ok(ShapesDoc {
+        records,
+        runner: RunnerMeta {
+            shard: shard_label.to_string(),
+            jobs,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_frozen() {
+        // Reference values computed from the FNV-1a definition; if these
+        // move, every existing shard assignment moves with them.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("fig4_garbage"), fnv1a("fig4_garbage"));
+        assert_ne!(fnv1a("fig4_garbage"), fnv1a("fig4_garbagf"));
+    }
+
+    #[test]
+    fn partition_covers_every_id_exactly_once() {
+        let all: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        for n in [1, 2, 3, 5, 31, 64] {
+            let shards = partition(n);
+            assert_eq!(shards.len(), n);
+            let mut seen = HashSet::new();
+            for shard in &shards {
+                for id in shard {
+                    assert!(seen.insert(*id), "{id} assigned to two shards (n={n})");
+                }
+            }
+            assert_eq!(seen.len(), all.len(), "n={n} dropped ids");
+        }
+    }
+
+    #[test]
+    fn shard_1_of_1_is_the_full_registry_in_order() {
+        let all: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        assert_eq!(partition(1), vec![all]);
+    }
+
+    #[test]
+    fn shards_are_stable_and_balanced() {
+        for n in [2, 3, 4] {
+            let a = partition(n);
+            let b = partition(n);
+            assert_eq!(a, b, "partition must be deterministic (n={n})");
+            let sizes: Vec<usize> = a.iter().map(Vec::len).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced shard sizes {sizes:?} (n={n})");
+            // Cost balance: serpentine dealing keeps every shard within
+            // ~one heavy experiment of the mean.
+            let cost_of = |ids: &Vec<&str>| -> u64 {
+                let reg = all_experiments();
+                ids.iter()
+                    .map(|id| u64::from(reg.iter().find(|e| e.id == *id).unwrap().cost))
+                    .sum()
+            };
+            let costs: Vec<u64> = a.iter().map(cost_of).collect();
+            let heaviest = u64::from(all_experiments().iter().map(|e| e.cost).max().unwrap());
+            let (cmin, cmax) = (costs.iter().min().unwrap(), costs.iter().max().unwrap());
+            assert!(
+                cmax - cmin <= heaviest,
+                "cost spread {costs:?} exceeds one heavy job (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_members_matches_partition() {
+        let shards = partition(3);
+        for (i, shard) in shards.iter().enumerate() {
+            let members = shard_members(i + 1, 3);
+            assert_eq!(members, shard.iter().copied().collect::<HashSet<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index")]
+    fn shard_index_is_one_based() {
+        let _ = shard_members(0, 3);
+    }
+
+    #[test]
+    fn crash_record_fails_strict() {
+        let rec = crash_record(
+            "fig4_garbage",
+            2,
+            "boom",
+            std::path::Path::new("/tmp/x.log"),
+        );
+        assert_eq!(rec.report.verdict(), "FAIL");
+        assert_eq!(rec.attempts, 2);
+        assert!(rec.report.outcomes[0].detail.contains("boom"));
+        assert!(
+            !rec.report.claim.is_empty(),
+            "claim comes from the registered oracle"
+        );
+    }
+}

@@ -1,17 +1,67 @@
 //! Smoke tests keeping the experiment registry, the oracle registry, and
 //! the `epic-run` CLI in lock-step: every id is unique, `run_by_name`
 //! resolves exactly the registered ids, the installed binary's `list`
-//! output matches the registry line for line, and every listed experiment
-//! has exactly one paper-shape oracle (no orphans in either direction).
+//! output matches the registry line for line, every listed experiment
+//! has exactly one paper-shape oracle (no orphans in either direction),
+//! and the process-runner surface (`--shard`, `-j`, `--one`,
+//! `merge-shapes`, `bench-diff`) round-trips end to end.
 
 use epic_harness::experiments::all_experiments;
 use epic_harness::oracle::{all_oracles, oracle_for, Tier};
+use epic_harness::shapes::ShapesDoc;
 use std::collections::HashSet;
-use std::process::Command;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn epic_run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_epic-run"))
+        .args(args)
+        .output()
+        .expect("spawn epic-run")
+}
+
+/// Like [`epic_run`] but scaled down to smoke length and with artifacts
+/// redirected into a scratch dir, for invocations that actually run
+/// experiments.
+fn epic_run_tiny(args: &[&str], results: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_epic-run"))
+        .args(args)
+        .env("EPIC_MILLIS", "20")
+        .env("EPIC_TRIALS", "1")
+        .env("EPIC_RESULTS", results)
+        .output()
+        .expect("spawn epic-run")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("epic_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf8")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("utf8")
+}
+
+/// The ids a `list` invocation printed (skipping the header line).
+fn listed_ids(out: &Output) -> Vec<String> {
+    stdout_of(out)
+        .lines()
+        .skip(1)
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect()
+}
 
 #[test]
 fn experiment_ids_are_unique_and_nonempty() {
-    let ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
+    let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
     assert!(!ids.is_empty(), "registry must not be empty");
     let set: HashSet<&str> = ids.iter().copied().collect();
     assert_eq!(set.len(), ids.len(), "duplicate experiment id in registry");
@@ -26,32 +76,67 @@ fn experiment_ids_are_unique_and_nonempty() {
 
 #[test]
 fn epic_run_list_matches_registry() {
-    let out = Command::new(env!("CARGO_BIN_EXE_epic-run"))
-        .arg("list")
-        .output()
-        .expect("spawn epic-run");
+    let out = epic_run(&["list"]);
     assert!(out.status.success(), "epic-run list failed: {out:?}");
-    let stdout = String::from_utf8(out.stdout).expect("utf8");
-    let listed: Vec<&str> = stdout
-        .lines()
-        .skip(1) // "experiments (pass an id, or 'all'):" header
-        .map(str::trim)
-        .filter(|l| !l.is_empty())
-        .collect();
-    let registry: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
+    let listed = listed_ids(&out);
+    let registry: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
     assert_eq!(
         listed, registry,
         "CLI list output diverged from all_experiments()"
     );
 }
 
+/// The three `--shard K/3` listings partition the registry: disjoint,
+/// union equals the full list, each shard in registry order.
 #[test]
-fn epic_run_rejects_unknown_experiment() {
-    let out = Command::new(env!("CARGO_BIN_EXE_epic-run"))
-        .arg("no_such_experiment")
-        .output()
-        .expect("spawn epic-run");
-    assert!(!out.status.success(), "unknown id must exit nonzero");
+fn epic_run_list_shards_partition_the_registry() {
+    let registry: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+    let mut seen: Vec<String> = Vec::new();
+    for shard in ["1/3", "2/3", "3/3"] {
+        let out = epic_run(&["list", "--shard", shard]);
+        assert!(out.status.success(), "list --shard {shard} failed: {out:?}");
+        let ids = listed_ids(&out);
+        let mut in_registry_order = ids.clone();
+        in_registry_order.sort_by_key(|id| registry.iter().position(|r| r == id));
+        assert_eq!(
+            ids, in_registry_order,
+            "shard {shard} not in registry order"
+        );
+        for id in ids {
+            assert!(!seen.contains(&id), "{id} listed in two shards");
+            seen.push(id);
+        }
+    }
+    seen.sort_by_key(|id| registry.iter().position(|r| r == id));
+    assert_eq!(seen, registry, "shard union must be the full registry");
+    // 1/1 is exactly the unsharded list.
+    assert_eq!(listed_ids(&epic_run(&["list", "--shard", "1/1"])), registry);
+    // Malformed shard specs are usage errors.
+    for bad in ["0/3", "4/3", "1-3", "x/y"] {
+        let out = epic_run(&["list", "--shard", bad]);
+        assert_eq!(out.status.code(), Some(2), "--shard {bad} must exit 2");
+    }
+}
+
+#[test]
+fn epic_run_rejects_unknown_experiment_and_lists_valid_ids() {
+    let out = epic_run(&["no_such_experiment"]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown id must exit 2: {out:?}"
+    );
+    let stderr = stderr_of(&out);
+    assert!(
+        stderr.contains("unknown experiment 'no_such_experiment'"),
+        "stderr should name the bad id: {stderr}"
+    );
+    for id in ["fig1_scaling", "ablation_ds_generality"] {
+        assert!(
+            stderr.contains(id),
+            "stderr should list valid id {id}: {stderr}"
+        );
+    }
 }
 
 /// Every experiment `epic-run list` names has exactly one oracle, in the
@@ -59,7 +144,7 @@ fn epic_run_rejects_unknown_experiment() {
 /// registry no longer knows.
 #[test]
 fn oracle_registry_matches_experiment_registry() {
-    let experiment_ids: Vec<&str> = all_experiments().iter().map(|(id, _)| *id).collect();
+    let experiment_ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
     let oracle_ids: Vec<&str> = all_oracles().iter().map(|o| o.experiment).collect();
     assert_eq!(
         oracle_ids, experiment_ids,
@@ -76,29 +161,233 @@ fn oracle_registry_matches_experiment_registry() {
 }
 
 /// `epic-run check` on an unknown id must fail cleanly — exit code 2,
-/// a diagnostic on stderr, and no experiment output or SHAPES.json
-/// writing before the rejection.
+/// a diagnostic naming the bad id plus the valid ones on stderr, and no
+/// experiment output or SHAPES.json writing before the rejection.
 #[test]
 fn epic_run_check_rejects_unknown_id() {
-    let out = Command::new(env!("CARGO_BIN_EXE_epic-run"))
-        .args(["check", "no_such_experiment"])
-        .output()
-        .expect("spawn epic-run");
+    let out = epic_run(&["check", "no_such_experiment"]);
     assert_eq!(out.status.code(), Some(2), "check must exit 2 on a bad id");
-    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    let stderr = stderr_of(&out);
     assert!(
         stderr.contains("unknown experiment 'no_such_experiment'"),
         "stderr should name the bad id: {stderr}"
     );
+    assert!(
+        stderr.contains("fig1_scaling"),
+        "stderr should list the valid ids: {stderr}"
+    );
     // A bad id anywhere in the list aborts before running anything.
-    let out = Command::new(env!("CARGO_BIN_EXE_epic-run"))
-        .args(["check", "fig4_garbage", "no_such_experiment"])
-        .output()
-        .expect("spawn epic-run");
+    let out = epic_run(&["check", "fig4_garbage", "no_such_experiment"]);
     assert_eq!(out.status.code(), Some(2), "bad id in a list must exit 2");
-    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let stdout = stdout_of(&out);
     assert!(
         !stdout.contains("##### check"),
         "must validate ids before running experiments: {stdout}"
     );
+}
+
+/// Bad flags and malformed values are usage errors, not silent ids.
+#[test]
+fn epic_run_check_rejects_bad_flags() {
+    for args in [
+        &["check", "--jobs", "zero"][..],
+        &["check", "-j"][..],
+        &["check", "--frobnicate"][..],
+        &["check", "--shard", "3/2"][..],
+    ] {
+        let out = epic_run(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2: {out:?}");
+    }
+}
+
+/// An empty selection must not report green: a typo'd shard/id combo
+/// (an id whose shard filter excludes it, or a shard index past the
+/// registry size) exits 2 instead of "0 experiments, 0 failures".
+#[test]
+fn epic_run_check_refuses_empty_selection() {
+    // Find a shard (of 3) that does NOT contain fig7_passfirst.
+    let excluded = (1..=3)
+        .find(|k| {
+            !listed_ids(&epic_run(&["list", "--shard", &format!("{k}/3")]))
+                .contains(&"fig7_passfirst".to_string())
+        })
+        .expect("some shard excludes fig7");
+    let out = epic_run(&[
+        "check",
+        "fig7_passfirst",
+        "--shard",
+        &format!("{excluded}/3"),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "empty selection must exit 2");
+    assert!(stderr_of(&out).contains("selection is empty"));
+    // A shard index past the registry size is empty too.
+    let out = epic_run(&["check", "--shard", "60/64"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+/// Repeated ids collapse to one run — the job engine keys per-child
+/// artifacts by id, and `merge` rejects duplicate records.
+#[test]
+fn epic_run_check_deduplicates_repeated_ids() {
+    let dir = scratch_dir("dedup");
+    let out = epic_run_tiny(
+        &["check", "fig7_passfirst", "fig7_passfirst", "-j", "2"],
+        &dir,
+    );
+    assert!(
+        matches!(out.status.code(), Some(0 | 1)),
+        "dedup check must complete: {out:?}"
+    );
+    let stdout = stdout_of(&out);
+    assert!(
+        stdout.contains("check: 1 experiments"),
+        "duplicates must collapse: {stdout}"
+    );
+    let doc = ShapesDoc::parse(&std::fs::read_to_string(dir.join("SHAPES.json")).expect("SHAPES"))
+        .expect("v2 parses");
+    assert_eq!(doc.records.len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The full child/merge round trip: two `--one` self-invocations (what
+/// the job engine spawns) produce single-record v2 documents, and
+/// `merge-shapes` fans them into one registry-ordered verdict table +
+/// SHAPES.json. Feeding the same document twice is a conflict.
+#[test]
+fn one_and_merge_shapes_round_trip() {
+    let dir = scratch_dir("merge");
+    let a = dir.join("fig7.json");
+    let b = dir.join("fig8.json");
+    for (id, path) in [("fig7_passfirst", &a), ("fig8_periodic", &b)] {
+        let out = epic_run_tiny(
+            &["--one", id, "--result-json", path.to_str().unwrap()],
+            &dir,
+        );
+        assert!(
+            matches!(out.status.code(), Some(0 | 1)),
+            "--one {id} must complete: {out:?}"
+        );
+        let doc = ShapesDoc::parse(&std::fs::read_to_string(path).expect("result json"))
+            .expect("child output parses");
+        assert_eq!(doc.records.len(), 1);
+        assert_eq!(doc.records[0].report.experiment, id);
+        assert!(doc.records[0].duration_ms > 0.0, "duration must be stamped");
+    }
+    // Merge in reverse order: output must come back in registry order.
+    let out = epic_run_tiny(
+        &["merge-shapes", b.to_str().unwrap(), a.to_str().unwrap()],
+        &dir,
+    );
+    assert!(
+        matches!(out.status.code(), Some(0 | 1)),
+        "merge must complete: {out:?}"
+    );
+    let stdout = stdout_of(&out);
+    let (p7, p8) = (
+        stdout.find("fig7_passfirst").expect("fig7 in table"),
+        stdout.find("fig8_periodic").expect("fig8 in table"),
+    );
+    assert!(p7 < p8, "verdict table must be in registry order");
+    assert!(stdout.contains("check: 2 experiments"));
+    let merged = std::fs::read_to_string(dir.join("SHAPES.json")).expect("merged SHAPES.json");
+    assert!(merged.contains("\"schema\": \"epic-shapes-v2\""));
+    let merged = ShapesDoc::parse(&merged).expect("merged file parses");
+    assert_eq!(merged.records.len(), 2);
+    assert!(merged.runner.shard.starts_with("merge("));
+    // Duplicate inputs conflict.
+    let out = epic_run_tiny(
+        &["merge-shapes", a.to_str().unwrap(), a.to_str().unwrap()],
+        &dir,
+    );
+    assert_eq!(out.status.code(), Some(2), "duplicate id must exit 2");
+    assert!(stderr_of(&out).contains("fig7_passfirst"));
+    // Unreadable input is a usage error.
+    let out = epic_run_tiny(&["merge-shapes", "/no/such/file.json"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `check -j 2` drives the process runner end to end: both experiments
+/// run as children, the merged SHAPES.json is v2 with runner metadata,
+/// and per-job artifacts land under `jobs/`.
+#[test]
+fn parallel_check_produces_merged_v2_shapes() {
+    let dir = scratch_dir("parallel");
+    let out = epic_run_tiny(
+        &["check", "fig7_passfirst", "fig8_periodic", "-j", "2"],
+        &dir,
+    );
+    assert!(
+        matches!(out.status.code(), Some(0 | 1)),
+        "parallel check must complete: {out:?}"
+    );
+    let stdout = stdout_of(&out);
+    assert!(
+        stdout.contains("2 experiments on 2 worker slots"),
+        "progress header missing: {stdout}"
+    );
+    let doc = ShapesDoc::parse(&std::fs::read_to_string(dir.join("SHAPES.json")).expect("SHAPES"))
+        .expect("v2 parses");
+    let ids: Vec<&str> = doc
+        .records
+        .iter()
+        .map(|r| r.report.experiment.as_str())
+        .collect();
+    assert_eq!(ids, ["fig7_passfirst", "fig8_periodic"], "registry order");
+    assert_eq!(doc.runner.jobs, 2);
+    assert_eq!(doc.runner.shard, "1/1");
+    for rec in &doc.records {
+        assert_eq!(rec.attempts, 1, "healthy children need one attempt");
+        assert!(rec.duration_ms > 0.0);
+    }
+    for id in ["fig7_passfirst", "fig8_periodic"] {
+        assert!(
+            dir.join("jobs").join(format!("{id}.log")).exists(),
+            "captured child log missing for {id}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `bench-diff` end to end: identical files pass, a slowdown beyond the
+/// threshold fails with the offending metric on stderr, missing files
+/// are usage errors.
+#[test]
+fn bench_diff_cli_gates_regressions() {
+    let dir = scratch_dir("benchdiff");
+    let base = dir.join("base.json");
+    let slow = dir.join("slow.json");
+    std::fs::write(
+        &base,
+        r#"{"config": {}, "schemes": [{"scheme": "debra", "get_ns_per_op": 100.0, "mixed_allocs_per_op": 0.0}]}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &slow,
+        r#"{"config": {}, "schemes": [{"scheme": "debra", "get_ns_per_op": 130.0, "mixed_allocs_per_op": 0.0}]}"#,
+    )
+    .unwrap();
+    let out = epic_run(&["bench-diff", base.to_str().unwrap(), base.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "identical files pass: {out:?}");
+    assert!(stdout_of(&out).contains("no regressions"));
+    let out = epic_run(&[
+        "bench-diff",
+        base.to_str().unwrap(),
+        slow.to_str().unwrap(),
+        "--max-regress",
+        "15%",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "30% slowdown fails a 15% gate");
+    assert!(stderr_of(&out).contains("debra/get_ns_per_op"));
+    let out = epic_run(&[
+        "bench-diff",
+        base.to_str().unwrap(),
+        slow.to_str().unwrap(),
+        "--max-regress",
+        "50%",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "same delta passes a 50% gate");
+    let out = epic_run(&["bench-diff", "/no/such.json", base.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
 }

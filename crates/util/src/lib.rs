@@ -13,6 +13,7 @@
 
 pub mod backoff;
 pub mod cache_padded;
+pub mod json;
 pub mod locks;
 pub mod rng;
 pub mod stats;
@@ -22,6 +23,7 @@ pub mod topology;
 
 pub use backoff::Backoff;
 pub use cache_padded::CachePadded;
+pub use json::Json;
 pub use locks::{SeqLock, TicketLock};
 pub use rng::{SplitMix64, XorShift64};
 pub use stats::{LogHistogram, OnlineStats};
