@@ -7,8 +7,8 @@
 //! intrusive free-list link, and a 64-bit **birth era** slot that the
 //! era-based SMR schemes (HE, IBR, WFE) stamp at allocation time.
 
+use crate::sync::{AtomicU64, AtomicUsize, Ordering};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Byte value debug builds write over freed user memory.
 pub const POISON: u8 = 0xDE;

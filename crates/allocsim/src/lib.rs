@@ -51,6 +51,7 @@ pub mod mi;
 pub mod segpool;
 pub mod spinbin;
 pub mod stats;
+pub mod sync;
 pub mod sys;
 pub mod tc;
 pub mod tcache;

@@ -1,0 +1,16 @@
+//! Atomics used by [`crate::BlockHeader`]'s intrusive links, swappable
+//! for model checking.
+//!
+//! Normal builds re-export `std::sync::atomic` — zero cost. Under
+//! `RUSTFLAGS="--cfg epic_model_check"` the same names come from
+//! [`epic_check::atomic`], whose shims are `#[repr(transparent)]`
+//! wrappers over the `std` types — same size and alignment, so the
+//! `HEADER_SIZE == 32` layout assertion holds under both cfgs.
+
+#[cfg(not(epic_model_check))]
+pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize};
+
+#[cfg(epic_model_check)]
+pub use epic_check::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize};
+
+pub use std::sync::atomic::Ordering;

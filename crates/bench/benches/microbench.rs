@@ -46,8 +46,8 @@ fn bench_smr_op_overhead(c: &mut Criterion) {
         let alloc = build_allocator(AllocatorKind::Sys, 1, CostModel::zero());
         let smr = build_smr(kind, alloc, SmrConfig::new(1));
         let handle = smr.register(0);
-        let links: Vec<std::sync::atomic::AtomicUsize> = (0..10)
-            .map(|i| std::sync::atomic::AtomicUsize::new(i * 64))
+        let links: Vec<epic_smr::sync::AtomicUsize> = (0..10)
+            .map(|i| epic_smr::sync::AtomicUsize::new(i * 64))
             .collect();
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.base_name()),

@@ -1,0 +1,267 @@
+//! Instrumented drop-in replacements for `std::sync::atomic` types.
+//!
+//! Same-size wrappers around the real `std` atomics. On a thread that is
+//! *not* bound to a checker runtime, every operation is a plain
+//! passthrough with the caller's ordering — so code compiled against
+//! these shims still works outside `epic_check::check` (and the shims
+//! are only compiled in at all under `--cfg epic_model_check`).
+//!
+//! On a bound thread, every operation becomes a scheduler step and goes
+//! through the TSO store-buffer model (see [`crate::rt`]).
+
+use std::panic::Location;
+use std::sync::atomic as std_atomic;
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt::{with_rt, Width};
+
+macro_rules! shim_atomic {
+    ($name:ident, $std:ident, $prim:ty, $width:expr) => {
+        /// Instrumented drop-in for the `std` atomic of the same name.
+        #[repr(transparent)]
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std_atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    inner: std_atomic::$std::new(v),
+                }
+            }
+
+            fn addr(&self) -> usize {
+                &self.inner as *const _ as usize
+            }
+
+            /// Loads the value (a scheduler step under a checker).
+            #[track_caller]
+            pub fn load(&self, ord: Ordering) -> $prim {
+                let loc = Location::caller();
+                with_rt(
+                    |rt, me| rt.op_load(me, self.addr(), $width, loc) as $prim,
+                    || self.inner.load(ord),
+                )
+            }
+
+            /// Stores a value; non-`SeqCst` stores are buffered under a
+            /// checker (TSO).
+            #[track_caller]
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                let loc = Location::caller();
+                with_rt(
+                    |rt, me| rt.op_store(me, self.addr(), val as u64, $width, ord, loc),
+                    || self.inner.store(val, ord),
+                )
+            }
+
+            /// Swaps the value, returning the previous one.
+            #[track_caller]
+            pub fn swap(&self, val: $prim, ord: Ordering) -> $prim {
+                let loc = Location::caller();
+                with_rt(
+                    |rt, me| {
+                        rt.op_rmw(me, self.addr(), $width, "swap", loc, |_| val as u64) as $prim
+                    },
+                    || self.inner.swap(val, ord),
+                )
+            }
+
+            /// Compare-exchange (a full barrier under the checker's TSO
+            /// model, like every RMW).
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$prim, $prim> {
+                let loc = Location::caller();
+                with_rt(
+                    |rt, me| {
+                        rt.op_cas(me, self.addr(), current as u64, new as u64, $width, loc)
+                            .map(|v| v as $prim)
+                            .map_err(|v| v as $prim)
+                    },
+                    || self.inner.compare_exchange(current, new, ok, err),
+                )
+            }
+
+            /// Weak compare-exchange (never fails spuriously under the
+            /// checker: spurious failure only adds schedules that real
+            /// success already covers).
+            #[track_caller]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$prim, $prim> {
+                let loc = Location::caller();
+                with_rt(
+                    |rt, me| {
+                        rt.op_cas(me, self.addr(), current as u64, new as u64, $width, loc)
+                            .map(|v| v as $prim)
+                            .map_err(|v| v as $prim)
+                    },
+                    || self.inner.compare_exchange_weak(current, new, ok, err),
+                )
+            }
+        }
+    };
+}
+
+macro_rules! shim_fetch_ops {
+    ($name:ident, $prim:ty, $width:expr) => {
+        impl $name {
+            /// Adds to the value, returning the previous one.
+            #[track_caller]
+            pub fn fetch_add(&self, val: $prim, ord: Ordering) -> $prim {
+                let loc = Location::caller();
+                with_rt(
+                    |rt, me| {
+                        rt.op_rmw(me, self.addr(), $width, "faa", loc, |old| {
+                            (old as $prim).wrapping_add(val) as u64
+                        }) as $prim
+                    },
+                    || self.inner.fetch_add(val, ord),
+                )
+            }
+
+            /// Subtracts from the value, returning the previous one.
+            #[track_caller]
+            pub fn fetch_sub(&self, val: $prim, ord: Ordering) -> $prim {
+                let loc = Location::caller();
+                with_rt(
+                    |rt, me| {
+                        rt.op_rmw(me, self.addr(), $width, "fsub", loc, |old| {
+                            (old as $prim).wrapping_sub(val) as u64
+                        }) as $prim
+                    },
+                    || self.inner.fetch_sub(val, ord),
+                )
+            }
+
+            /// Bitwise-ORs into the value, returning the previous one.
+            #[track_caller]
+            pub fn fetch_or(&self, val: $prim, ord: Ordering) -> $prim {
+                let loc = Location::caller();
+                with_rt(
+                    |rt, me| {
+                        rt.op_rmw(me, self.addr(), $width, "for", loc, |old| {
+                            ((old as $prim) | val) as u64
+                        }) as $prim
+                    },
+                    || self.inner.fetch_or(val, ord),
+                )
+            }
+
+            /// Maximum of the value and the argument, returning the
+            /// previous value.
+            #[track_caller]
+            pub fn fetch_max(&self, val: $prim, ord: Ordering) -> $prim {
+                let loc = Location::caller();
+                with_rt(
+                    |rt, me| {
+                        rt.op_rmw(me, self.addr(), $width, "fmax", loc, |old| {
+                            (old as $prim).max(val) as u64
+                        }) as $prim
+                    },
+                    || self.inner.fetch_max(val, ord),
+                )
+            }
+        }
+    };
+}
+
+shim_atomic!(AtomicU64, AtomicU64, u64, Width::U64);
+shim_atomic!(AtomicUsize, AtomicUsize, usize, Width::Usize);
+shim_fetch_ops!(AtomicU64, u64, Width::U64);
+shim_fetch_ops!(AtomicUsize, usize, Width::Usize);
+
+/// Instrumented drop-in for `std::sync::atomic::AtomicBool`.
+#[repr(transparent)]
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std_atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std_atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        &self.inner as *const _ as usize
+    }
+
+    /// Loads the value (a scheduler step under a checker).
+    #[track_caller]
+    pub fn load(&self, ord: Ordering) -> bool {
+        let loc = Location::caller();
+        with_rt(
+            |rt, me| rt.op_load(me, self.addr(), Width::U8, loc) != 0,
+            || self.inner.load(ord),
+        )
+    }
+
+    /// Stores a value; non-`SeqCst` stores are buffered under a checker.
+    #[track_caller]
+    pub fn store(&self, val: bool, ord: Ordering) {
+        let loc = Location::caller();
+        with_rt(
+            |rt, me| rt.op_store(me, self.addr(), val as u64, Width::U8, ord, loc),
+            || self.inner.store(val, ord),
+        )
+    }
+
+    /// Swaps the value, returning the previous one.
+    #[track_caller]
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        let loc = Location::caller();
+        with_rt(
+            |rt, me| rt.op_rmw(me, self.addr(), Width::U8, "swap", loc, |_| val as u64) != 0,
+            || self.inner.swap(val, ord),
+        )
+    }
+
+    /// Compare-exchange (a full barrier under the checker).
+    #[track_caller]
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        ok: Ordering,
+        err: Ordering,
+    ) -> Result<bool, bool> {
+        let loc = Location::caller();
+        with_rt(
+            |rt, me| {
+                rt.op_cas(me, self.addr(), current as u64, new as u64, Width::U8, loc)
+                    .map(|v| v != 0)
+                    .map_err(|v| v != 0)
+            },
+            || self.inner.compare_exchange(current, new, ok, err),
+        )
+    }
+}
+
+/// Instrumented drop-in for `std::sync::atomic::fence`. A `SeqCst` fence
+/// drains the calling thread's store buffer; weaker fences are pure
+/// schedule points (TSO already orders everything they would).
+#[track_caller]
+pub fn fence(ord: Ordering) {
+    let loc = Location::caller();
+    with_rt(
+        |rt, me| rt.op_fence(me, ord, loc),
+        || std_atomic::fence(ord),
+    );
+}

@@ -1,0 +1,409 @@
+//! `epic-check`: a deterministic, seed-replayable concurrency model
+//! checker for the `epic-smr` core.
+//!
+//! The container this project builds in is offline, so instead of loom
+//! or shuttle we carry our own small checker: virtual threads under a
+//! controlled scheduler ([`rt`]), instrumented atomics that model TSO
+//! store buffers ([`atomic`]), and a handful of scheduling policies
+//! ([burst-random, PCT, bounded-exhaustive](Mode)).
+//!
+//! # Writing a model
+//!
+//! ```
+//! use epic_check::{check, Config};
+//! use epic_check::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let cfg = Config::random(200).with_seed(7);
+//! check(cfg, || {
+//!     let x = Arc::new(AtomicUsize::new(0));
+//!     let x2 = x.clone();
+//!     let t = epic_check::thread::spawn(move || {
+//!         x2.store(1, Ordering::SeqCst);
+//!     });
+//!     t.join().unwrap();
+//!     assert_eq!(x.load(Ordering::SeqCst), 1);
+//! });
+//! ```
+//!
+//! The closure runs once per explored schedule. Any panic inside it (an
+//! `assert!`, a model-allocator double-free, ...) fails the exploration;
+//! [`check`] then panics with a report containing the iteration seed and
+//! the tail of the schedule trace. Re-running the same test with
+//! `EPIC_CHECK_SEED=<seed>` replays exactly that schedule — the trace is
+//! byte-identical.
+//!
+//! # Environment
+//!
+//! * `EPIC_CHECK_SEED` — replay a single schedule: a decimal iteration
+//!   seed, or `path:0,1,2` for a decision path from exhaustive mode.
+//! * `EPIC_CHECK_ITERS` — override the iteration budget.
+//! * `EPIC_CHECK_MASTER` — override the master seed (CI uses the run id
+//!   here for its one randomized exploration).
+//! * `EPIC_CHECK_TRACE_DIR` — on failure, also write the full schedule
+//!   trace to a file in this directory (CI uploads it as an artifact).
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod atomic;
+mod rt;
+mod sched;
+pub mod thread;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use epic_util::rng::SplitMix64;
+
+use sched::Chooser;
+
+/// Scheduling policy for an exploration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Burst-random: uniformly random agent, random burst length. The
+    /// workhorse — best at deep races that need an uninterrupted run-up.
+    Random,
+    /// PCT-style randomized priorities with `changes` priority-change
+    /// points per schedule. Best at small-depth ordering bugs.
+    Pct {
+        /// Number of priority-change points per schedule.
+        changes: usize,
+    },
+    /// Bounded-exhaustive depth-first enumeration of decision paths
+    /// (first-decision-first). Only feasible for tiny models; the
+    /// iteration budget bounds how many paths are explored.
+    Exhaustive,
+}
+
+/// Exploration configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Schedules to explore (or paths, in exhaustive mode).
+    pub iters: usize,
+    /// Scheduled-step budget per schedule. Exceeding it truncates the
+    /// schedule (a pass, not a failure) so random walks cannot hang.
+    pub max_steps: usize,
+    /// Scheduling policy.
+    pub mode: Mode,
+    /// Master seed; per-iteration seeds derive from it.
+    pub seed: u64,
+    /// Model context bits, readable inside the model via [`ctx`].
+    /// Model tests use these as mutant masks.
+    pub ctx: u64,
+}
+
+impl Config {
+    /// Burst-random exploration with `iters` schedules.
+    pub fn random(iters: usize) -> Config {
+        Config {
+            iters,
+            max_steps: 20_000,
+            mode: Mode::Random,
+            seed: 0x5EED_CAFE,
+            ctx: 0,
+        }
+    }
+
+    /// PCT exploration with `iters` schedules and 3 change points.
+    pub fn pct(iters: usize) -> Config {
+        Config {
+            mode: Mode::Pct { changes: 3 },
+            ..Config::random(iters)
+        }
+    }
+
+    /// Bounded-exhaustive exploration of up to `budget` paths.
+    pub fn exhaustive(budget: usize) -> Config {
+        Config {
+            mode: Mode::Exhaustive,
+            ..Config::random(budget)
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Config {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-schedule step budget.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Config {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the model context bits (mutant mask).
+    pub fn with_ctx(mut self, ctx: u64) -> Config {
+        self.ctx = ctx;
+        self
+    }
+}
+
+/// A failed exploration: everything needed to reproduce and debug it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The value to put in `EPIC_CHECK_SEED` to replay this schedule
+    /// (a decimal seed, or `path:...` from exhaustive mode).
+    pub seed: String,
+    /// The failure message (panic text or deadlock report).
+    pub message: String,
+    /// Scheduled steps taken when the failure hit.
+    pub steps: usize,
+    /// The full schedule trace.
+    pub trace: Vec<String>,
+}
+
+impl Failure {
+    /// Renders the human-facing failure report (seed line, message,
+    /// trace tail).
+    pub fn report(&self) -> String {
+        let tail_from = self.trace.len().saturating_sub(40);
+        let mut s = format!(
+            "model check FAILED after {} steps\n  {}\n  replay: EPIC_CHECK_SEED={}\n  trace tail:\n",
+            self.steps, self.message, self.seed
+        );
+        for line in &self.trace[tail_from..] {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Outcome of [`explore`].
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// All explored schedules passed.
+    Pass {
+        /// Number of schedules explored.
+        iters: usize,
+    },
+    /// A schedule failed.
+    Fail(Box<Failure>),
+}
+
+impl Outcome {
+    /// Whether the exploration failed.
+    pub fn is_fail(&self) -> bool {
+        matches!(self, Outcome::Fail(_))
+    }
+}
+
+/// The model context bits of the current checker run (0 when the
+/// calling thread is not under a checker). `epic-smr`'s seeded mutants
+/// read these to decide whether to misbehave.
+pub fn ctx() -> u64 {
+    rt::with_rt(|rt, _| rt.ctx(), || 0)
+}
+
+/// An explicit schedule point with no memory action: under a checker,
+/// yields to the scheduler; otherwise a no-op. Models use this to give
+/// the scheduler a decision point around non-atomic oracle reads.
+pub fn yield_now() {
+    rt::with_rt(|rt, me| rt.op_yield(me), || {});
+}
+
+/// Drains the calling thread's store buffer without a schedule point.
+/// Model allocators call this before releasing memory that shimmed
+/// atomics may live in, so no buffered store can later write through
+/// into freed memory.
+pub fn flush_self() {
+    rt::with_rt(|rt, me| rt.flush_self(me), || {});
+}
+
+fn run_one(chooser: Chooser, max_steps: usize, ctx_bits: u64, f: &(impl Fn() + Sync)) -> RunResult {
+    let rt = rt::Rt::new(chooser, max_steps, ctx_bits);
+    {
+        let _bind = rt::Binding::new(rt.clone(), 0);
+        let res = catch_unwind(AssertUnwindSafe(f));
+        let msg = res.err().map(|p| panic_message(p.as_ref()));
+        rt.thread_finished(0, msg);
+    }
+    rt.wait_all_finished();
+    let (failure, truncated, steps, trace) = rt.results();
+    let (path, widths) = rt.take_chooser().recorded();
+    let _ = truncated; // truncation is a benign pass; kept for debugging
+    RunResult {
+        failure,
+        steps,
+        trace,
+        path,
+        widths,
+    }
+}
+
+struct RunResult {
+    failure: Option<String>,
+    steps: usize,
+    trace: Vec<String>,
+    path: Vec<usize>,
+    widths: Vec<usize>,
+}
+
+fn chooser_for(mode: Mode, seed: u64, max_steps: usize) -> Chooser {
+    match mode {
+        Mode::Random => Chooser::random(seed),
+        Mode::Pct { changes } => Chooser::pct(seed, changes, max_steps),
+        Mode::Exhaustive => Chooser::path(Vec::new()),
+    }
+}
+
+/// Runs the model under every schedule the config asks for and returns
+/// the outcome. Honors the `EPIC_CHECK_*` environment overrides (see the
+/// crate docs). Mutant tests use this directly and assert
+/// [`Outcome::is_fail`]; regular models go through [`check`].
+pub fn explore(cfg: Config, f: impl Fn() + Sync) -> Outcome {
+    if let Ok(seed) = std::env::var("EPIC_CHECK_SEED") {
+        return replay(cfg, &seed, f);
+    }
+    let iters = std::env::var("EPIC_CHECK_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cfg.iters);
+    let master = std::env::var("EPIC_CHECK_MASTER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cfg.seed);
+
+    if cfg.mode == Mode::Exhaustive {
+        return explore_exhaustive(cfg, iters, &f);
+    }
+
+    let mut seeds = SplitMix64::new(master);
+    for _ in 0..iters {
+        let iter_seed = seeds.next_u64();
+        let r = run_one(
+            chooser_for(cfg.mode, iter_seed, cfg.max_steps),
+            cfg.max_steps,
+            cfg.ctx,
+            &f,
+        );
+        if let Some(message) = r.failure {
+            return Outcome::Fail(Box::new(Failure {
+                seed: iter_seed.to_string(),
+                message,
+                steps: r.steps,
+                trace: r.trace,
+            }));
+        }
+    }
+    Outcome::Pass { iters }
+}
+
+/// Depth-first enumeration of decision paths, budget-bounded.
+fn explore_exhaustive(cfg: Config, budget: usize, f: &(impl Fn() + Sync)) -> Outcome {
+    let mut path: Vec<usize> = Vec::new();
+    let mut done = 0;
+    loop {
+        let r = run_one(Chooser::path(path.clone()), cfg.max_steps, cfg.ctx, f);
+        done += 1;
+        if let Some(message) = r.failure {
+            let seed = format!(
+                "path:{}",
+                r.path
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            return Outcome::Fail(Box::new(Failure {
+                seed,
+                message,
+                steps: r.steps,
+                trace: r.trace,
+            }));
+        }
+        if done >= budget {
+            return Outcome::Pass { iters: done };
+        }
+        // Backtrack: bump the deepest decision that still has siblings.
+        path = r.path;
+        let widths = r.widths;
+        loop {
+            match path.pop() {
+                None => return Outcome::Pass { iters: done },
+                Some(last) => {
+                    let width = widths.get(path.len()).copied().unwrap_or(1);
+                    if last + 1 < width {
+                        path.push(last + 1);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Replays exactly one schedule from a seed string (`"12345"` or
+/// `"path:0,1,2"`).
+pub fn replay(cfg: Config, seed: &str, f: impl Fn() + Sync) -> Outcome {
+    let chooser = if let Some(p) = seed.strip_prefix("path:") {
+        let path = if p.is_empty() {
+            Vec::new()
+        } else {
+            p.split(',')
+                .map(|d| d.trim().parse().expect("bad path element"))
+                .collect()
+        };
+        Chooser::path(path)
+    } else {
+        let iter_seed: u64 = seed
+            .trim()
+            .parse()
+            .expect("EPIC_CHECK_SEED must be a u64 or path:...");
+        chooser_for(cfg.mode, iter_seed, cfg.max_steps)
+    };
+    let r = run_one(chooser, cfg.max_steps, cfg.ctx, &f);
+    match r.failure {
+        Some(message) => Outcome::Fail(Box::new(Failure {
+            seed: seed.to_string(),
+            message,
+            steps: r.steps,
+            trace: r.trace,
+        })),
+        None => Outcome::Pass { iters: 1 },
+    }
+}
+
+/// Explores the model and panics with a replayable report on failure.
+/// This is the entry point regular (non-mutant) model tests use.
+pub fn check(cfg: Config, f: impl Fn() + Sync) {
+    match explore(cfg, f) {
+        Outcome::Pass { .. } => {}
+        Outcome::Fail(failure) => {
+            maybe_dump_trace(&failure);
+            panic!("{}", failure.report());
+        }
+    }
+}
+
+/// Writes the full trace to `$EPIC_CHECK_TRACE_DIR/<name>.trace` when the
+/// env var is set (CI uploads the directory as an artifact on failure).
+fn maybe_dump_trace(failure: &Failure) {
+    if let Ok(dir) = std::env::var("EPIC_CHECK_TRACE_DIR") {
+        let name: String = failure
+            .seed
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = std::path::Path::new(&dir).join(format!("seed_{name}.trace"));
+        let mut body = format!("{}\nfull trace:\n", failure.report());
+        for line in &failure.trace {
+            body.push_str(line);
+            body.push('\n');
+        }
+        let _ = std::fs::create_dir_all(&dir);
+        let _ = std::fs::write(path, body);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -1,0 +1,664 @@
+//! The cooperative scheduler runtime.
+//!
+//! One [`Rt`] drives one *iteration* (one explored schedule) of a model.
+//! Virtual threads are real OS threads, but exactly one is ever
+//! `Running`: every instrumented atomic operation first parks the caller
+//! at a *yield point*, lets the [`Chooser`] pick who goes next, and only
+//! then performs the memory operation — all under the single global
+//! scheduler lock, so the whole iteration is sequentially consistent *at
+//! the level of scheduler steps* and therefore fully determined by the
+//! chooser's decisions.
+//!
+//! # Memory model: TSO store buffers
+//!
+//! Plain sequential consistency over scheduler steps would hide exactly
+//! the bugs this checker exists to find (a `Relaxed` publish where
+//! `SeqCst` is required is *invisible* under SC). We therefore model a
+//! TSO-style machine, the weakest model that still keeps the
+//! implementation tractable and deterministic:
+//!
+//! * every non-`SeqCst` store goes into the executing thread's FIFO
+//!   *store buffer* instead of memory;
+//! * a `SeqCst` store or `SeqCst` fence first drains the thread's own
+//!   buffer, then writes through;
+//! * loads forward from the thread's own buffer (newest matching entry —
+//!   x86 store-forwarding) and otherwise read memory;
+//! * RMWs (`swap`, `fetch_add`, `compare_exchange`, ...) drain the
+//!   buffer and act directly on memory;
+//! * for every thread with a non-empty buffer the scheduler exposes a
+//!   *flush agent*: an extra schedulable agent whose only action is to
+//!   write the oldest buffered store through to memory. The chooser can
+//!   interleave flushes arbitrarily with real steps, which is what makes
+//!   delayed-publication bugs observable.
+//!
+//! This is weaker than x86-TSO in no respect and weaker than C11 in
+//! many; a data race the model finds is a real bug, while races that
+//! need non-TSO reordering (e.g. load-load) are out of scope and
+//! documented as such in DESIGN.md §9.
+//!
+//! # Determinism
+//!
+//! All scheduling randomness comes from the iteration seed. Trace lines
+//! identify atomics by first-seen index (`a#0`, `a#1`, ...), never by
+//! address, and large values (pointers) print as `big`, so a replay of
+//! the same seed produces byte-identical traces even under ASLR.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::sched::{Agent, Chooser};
+
+/// Width of a shimmed atomic cell (values are carried as `u64`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Width {
+    /// `AtomicBool` (backed by one byte, values 0/1).
+    U8,
+    /// `AtomicU64`.
+    U64,
+    /// `AtomicUsize`.
+    Usize,
+}
+
+/// A store sitting in a thread's store buffer, not yet visible to
+/// other threads.
+#[derive(Clone, Copy, Debug)]
+struct BufferedStore {
+    addr: usize,
+    val: u64,
+    width: Width,
+}
+
+/// Virtual-thread run state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Run {
+    /// Schedulable.
+    Ready,
+    /// The (single) thread currently allowed to execute.
+    Running,
+    /// Waiting for the given vtid to finish (a `join`).
+    Blocked(usize),
+    /// Done (returned or panicked).
+    Finished,
+}
+
+struct VThread {
+    run: Run,
+    buffer: VecDeque<BufferedStore>,
+}
+
+pub(crate) struct SchedState {
+    threads: Vec<VThread>,
+    /// Scheduled steps so far (yield points + flush-agent actions).
+    step: usize,
+    max_steps: usize,
+    /// Set when the iteration is being torn down (failure, panic or step
+    /// budget). All yield points become no-ops and stores write through
+    /// directly so every real thread can run to completion unscheduled.
+    abort: bool,
+    /// Whether the step budget was hit (a truncated, *passing* run).
+    truncated: bool,
+    /// First failure message (panic text or deadlock report).
+    failure: Option<String>,
+    chooser: Chooser,
+    trace: Vec<String>,
+    /// addr -> first-seen id, for stable trace names.
+    addr_ids: Vec<usize>,
+}
+
+impl SchedState {
+    fn addr_id(&mut self, addr: usize) -> usize {
+        match self.addr_ids.iter().position(|&a| a == addr) {
+            Some(i) => i,
+            None => {
+                self.addr_ids.push(addr);
+                self.addr_ids.len() - 1
+            }
+        }
+    }
+
+    fn fmt_val(v: u64) -> String {
+        // Pointers differ run to run under ASLR; mask anything that
+        // cannot be a small counter/flag so traces replay byte-identically.
+        if v < (1 << 32) {
+            v.to_string()
+        } else {
+            "big".to_string()
+        }
+    }
+
+    fn trace_op(
+        &mut self,
+        me: usize,
+        kind: &str,
+        addr: usize,
+        val: u64,
+        loc: &'static Location<'static>,
+        note: &str,
+    ) {
+        let id = self.addr_id(addr);
+        let step = self.step;
+        self.trace.push(format!(
+            "{step:>5} t{me} {kind} a#{id} = {}{note} @{}:{}",
+            Self::fmt_val(val),
+            loc.file(),
+            loc.line()
+        ));
+    }
+
+    fn begin_abort(&mut self) {
+        if debug_log() {
+            eprintln!(
+                "begin_abort at step {} (failure={:?}, truncated={})",
+                self.step, self.failure, self.truncated
+            );
+        }
+        if !self.abort {
+            self.abort = true;
+            // Nobody will schedule flush agents any more: write every
+            // buffered store through so direct (abort-mode) operation
+            // sees a consistent memory.
+            for t in 0..self.threads.len() {
+                self.flush_all_of(t);
+            }
+        }
+    }
+
+    fn flush_oldest_of(&mut self, t: usize) {
+        if let Some(b) = self.threads[t].buffer.pop_front() {
+            // SAFETY: the address belongs to a live shim atomic; models
+            // must drain buffers (thread exit / `flush_self`) before the
+            // memory backing an atomic is released.
+            unsafe { raw_store(b.addr, b.val, b.width) };
+            let id = self.addr_id(b.addr);
+            let step = self.step;
+            self.trace.push(format!(
+                "{step:>5} -- flush t{t} a#{id} = {}",
+                Self::fmt_val(b.val)
+            ));
+        }
+    }
+
+    fn flush_all_of(&mut self, t: usize) {
+        while !self.threads[t].buffer.is_empty() {
+            self.flush_oldest_of(t);
+        }
+    }
+
+    /// Newest buffered value for `addr` in `t`'s buffer, if any
+    /// (store-forwarding).
+    fn forwarded(&self, t: usize, addr: usize) -> Option<u64> {
+        self.threads[t]
+            .buffer
+            .iter()
+            .rev()
+            .find(|b| b.addr == addr)
+            .map(|b| b.val)
+    }
+
+    /// Pick and start the next agent. On entry no thread is `Running`
+    /// (the caller just gave up the token). On exit either one thread is
+    /// `Running`, or the iteration is over/aborted.
+    fn schedule(&mut self) {
+        loop {
+            if self.abort {
+                return;
+            }
+            if self.step >= self.max_steps {
+                self.truncated = true;
+                self.begin_abort();
+                return;
+            }
+            let mut agents = Vec::new();
+            for (i, t) in self.threads.iter().enumerate() {
+                if t.run == Run::Ready {
+                    agents.push(Agent::Thread(i));
+                }
+            }
+            let no_ready = agents.is_empty();
+            for (i, t) in self.threads.iter().enumerate() {
+                if !t.buffer.is_empty() {
+                    agents.push(Agent::Flush(i));
+                }
+            }
+            if no_ready {
+                // No runnable thread. Drain all buffers, then decide:
+                // everyone finished (normal end) or a deadlock.
+                for t in 0..self.threads.len() {
+                    self.flush_all_of(t);
+                }
+                if self.threads.iter().all(|t| t.run == Run::Finished) {
+                    return;
+                }
+                let blocked: Vec<String> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| matches!(t.run, Run::Blocked(_)))
+                    .map(|(i, t)| format!("t{i}:{:?}", t.run))
+                    .collect();
+                if self.failure.is_none() {
+                    self.failure = Some(format!(
+                        "deadlock: no runnable thread ({})",
+                        blocked.join(", ")
+                    ));
+                }
+                self.begin_abort();
+                return;
+            }
+            let picked = self.chooser.choose(&agents, self.step);
+            if debug_log() {
+                eprintln!(
+                    "schedule: step {} agents {:?} -> {:?}",
+                    self.step, agents, picked
+                );
+            }
+            match picked {
+                Agent::Flush(t) => {
+                    self.step += 1;
+                    self.flush_oldest_of(t);
+                    // Flushes are pure memory actions; keep choosing
+                    // until a real thread gets the token.
+                    continue;
+                }
+                Agent::Thread(t) => {
+                    if self.threads[t].run != Run::Running {
+                        let step = self.step;
+                        self.trace.push(format!("{step:>5} -- switch -> t{t}"));
+                    }
+                    self.threads[t].run = Run::Running;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// One iteration's runtime: the scheduler lock, the wakeup condvar and
+/// the model context bits.
+pub struct Rt {
+    ctx: u64,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+fn lock(m: &Mutex<SchedState>) -> MutexGuard<'_, SchedState> {
+    // A panicking vthread poisons the lock while unwinding through a
+    // yield point; the state itself stays consistent (we only ever
+    // mutate it in small complete steps), so keep going.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Rt {
+    pub(crate) fn new(chooser: Chooser, max_steps: usize, ctx: u64) -> Arc<Rt> {
+        Arc::new(Rt {
+            ctx,
+            state: Mutex::new(SchedState {
+                // vtid 0 is the model's root thread, born Running.
+                threads: vec![VThread {
+                    run: Run::Running,
+                    buffer: VecDeque::new(),
+                }],
+                step: 0,
+                max_steps,
+                abort: false,
+                truncated: false,
+                failure: None,
+                chooser,
+                trace: Vec::new(),
+                addr_ids: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn ctx(&self) -> u64 {
+        self.ctx
+    }
+
+    /// Park at a yield point: give up the token, let the chooser run
+    /// other agents, resume when re-chosen. Returns the state guard with
+    /// `me` running (or the iteration aborting), under which the caller
+    /// performs its memory operation atomically w.r.t. scheduling.
+    fn yield_point(&self, me: usize) -> MutexGuard<'_, SchedState> {
+        let mut st = lock(&self.state);
+        if st.abort {
+            return st;
+        }
+        st.step += 1;
+        st.threads[me].run = Run::Ready;
+        st.schedule();
+        self.cv.notify_all();
+        while st.threads[me].run != Run::Running && !st.abort {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st
+    }
+
+    pub(crate) fn op_load(
+        &self,
+        me: usize,
+        addr: usize,
+        w: Width,
+        loc: &'static Location<'static>,
+    ) -> u64 {
+        let mut st = self.yield_point(me);
+        let fwd = st.forwarded(me, addr);
+        let v = match fwd {
+            Some(v) => v,
+            // SAFETY: `addr` is the address of the caller's live atomic.
+            None => unsafe { raw_load(addr, w) },
+        };
+        if !st.abort {
+            let note = if fwd.is_some() { " (fwd)" } else { "" };
+            st.trace_op(me, "load", addr, v, loc, note);
+        }
+        v
+    }
+
+    pub(crate) fn op_store(
+        &self,
+        me: usize,
+        addr: usize,
+        val: u64,
+        w: Width,
+        ord: Ordering,
+        loc: &'static Location<'static>,
+    ) {
+        let mut st = self.yield_point(me);
+        if st.abort {
+            // SAFETY: as above; buffers were drained at abort.
+            unsafe { raw_store(addr, val, w) };
+            return;
+        }
+        if matches!(ord, Ordering::SeqCst) {
+            st.flush_all_of(me);
+            // SAFETY: as above.
+            unsafe { raw_store(addr, val, w) };
+            st.trace_op(me, "store.sc", addr, val, loc, "");
+        } else {
+            st.threads[me].buffer.push_back(BufferedStore {
+                addr,
+                val,
+                width: w,
+            });
+            st.trace_op(me, "store", addr, val, loc, " (buffered)");
+        }
+    }
+
+    /// RMW: drains the buffer (RMWs are full barriers on TSO), applies
+    /// `f` to the current memory value, writes the result through, and
+    /// returns the old value.
+    pub(crate) fn op_rmw(
+        &self,
+        me: usize,
+        addr: usize,
+        w: Width,
+        kind: &str,
+        loc: &'static Location<'static>,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let mut st = self.yield_point(me);
+        if !st.abort {
+            st.flush_all_of(me);
+        }
+        // SAFETY: as above; we hold the scheduler lock, no other vthread
+        // is running, so read-modify-write is atomic.
+        let old = unsafe { raw_load(addr, w) };
+        let new = f(old);
+        // SAFETY: as above.
+        unsafe { raw_store(addr, new, w) };
+        if !st.abort {
+            st.trace_op(me, kind, addr, new, loc, "");
+        }
+        old
+    }
+
+    /// Compare-exchange: drains the buffer, compares against memory,
+    /// conditionally writes. Returns `Ok(current)` / `Err(current)`.
+    pub(crate) fn op_cas(
+        &self,
+        me: usize,
+        addr: usize,
+        current: u64,
+        new: u64,
+        w: Width,
+        loc: &'static Location<'static>,
+    ) -> Result<u64, u64> {
+        let mut st = self.yield_point(me);
+        if !st.abort {
+            st.flush_all_of(me);
+        }
+        // SAFETY: as in `op_rmw`.
+        let old = unsafe { raw_load(addr, w) };
+        let ok = old == current;
+        if ok {
+            // SAFETY: as in `op_rmw`.
+            unsafe { raw_store(addr, new, w) };
+        }
+        if !st.abort {
+            let note = if ok { "" } else { " (failed)" };
+            st.trace_op(me, "cas", addr, if ok { new } else { old }, loc, note);
+        }
+        if ok {
+            Ok(old)
+        } else {
+            Err(old)
+        }
+    }
+
+    pub(crate) fn op_fence(&self, me: usize, ord: Ordering, loc: &'static Location<'static>) {
+        let mut st = self.yield_point(me);
+        if st.abort {
+            return;
+        }
+        if matches!(ord, Ordering::SeqCst) {
+            st.flush_all_of(me);
+        }
+        let step = st.step;
+        st.trace.push(format!(
+            "{step:>5} t{me} fence @{}:{}",
+            loc.file(),
+            loc.line()
+        ));
+    }
+
+    /// An explicit schedule point with no memory action. Models use this
+    /// to widen race windows around non-atomic oracle reads.
+    pub(crate) fn op_yield(&self, me: usize) {
+        let _st = self.yield_point(me);
+    }
+
+    /// Drains the calling vthread's store buffer *without* a schedule
+    /// point. Called before memory backing shimmed atomics is released
+    /// (e.g. a model allocator's `dealloc`), so no pending store can
+    /// later write through into freed memory.
+    pub(crate) fn flush_self(&self, me: usize) {
+        let mut st = lock(&self.state);
+        st.flush_all_of(me);
+    }
+
+    /// Registers a new vthread (born `Ready`); returns its vtid. Called
+    /// by the *spawner*, before the real thread starts.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = lock(&self.state);
+        st.threads.push(VThread {
+            run: Run::Ready,
+            buffer: VecDeque::new(),
+        });
+        st.threads.len() - 1
+    }
+
+    /// First wait of a freshly spawned vthread: block until scheduled.
+    pub(crate) fn wait_first(&self, me: usize) {
+        let mut st = lock(&self.state);
+        while st.threads[me].run != Run::Running && !st.abort {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks `me` until `target` finishes (a virtual `join`).
+    pub(crate) fn join_block(&self, me: usize, target: usize) {
+        let mut st = lock(&self.state);
+        if st.abort || st.threads[target].run == Run::Finished {
+            return;
+        }
+        st.step += 1;
+        st.threads[me].run = Run::Blocked(target);
+        let step = st.step;
+        st.trace.push(format!("{step:>5} t{me} join t{target}"));
+        st.schedule();
+        self.cv.notify_all();
+        while st.threads[me].run != Run::Running && !st.abort {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks `me` finished (flushing its buffer — thread exit is a
+    /// release), records a panic as the iteration's failure, wakes any
+    /// joiners and hands the token on.
+    ///
+    /// A clean exit is itself a *scheduled* event: without the extra
+    /// yield point, a thread's last operation and its exit drain would
+    /// be atomic, and weak outcomes that need another thread to read
+    /// *between* them (the classic store-buffering litmus) would be
+    /// unreachable.
+    pub(crate) fn thread_finished(&self, me: usize, panic_msg: Option<String>) {
+        if panic_msg.is_none() {
+            drop(self.yield_point(me));
+        }
+        let mut st = lock(&self.state);
+        st.flush_all_of(me);
+        st.threads[me].run = Run::Finished;
+        if let Some(msg) = panic_msg {
+            let step = st.step;
+            st.trace.push(format!("{step:>5} t{me} panic: {msg}"));
+            if st.failure.is_none() {
+                st.failure = Some(format!("t{me} panicked: {msg}"));
+            }
+            st.begin_abort();
+        } else {
+            let step = st.step;
+            st.trace.push(format!("{step:>5} t{me} exit"));
+            for t in st.threads.iter_mut() {
+                if t.run == Run::Blocked(me) {
+                    t.run = Run::Ready;
+                }
+            }
+            if !st.abort {
+                st.schedule();
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Waits (on the driver thread, outside the schedule) until every
+    /// vthread has finished.
+    pub(crate) fn wait_all_finished(&self) {
+        let mut st = lock(&self.state);
+        while !st.threads.iter().all(|t| t.run == Run::Finished) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// (failure, truncated, steps, trace) — consumed by the driver after
+    /// the iteration.
+    pub(crate) fn results(&self) -> (Option<String>, bool, usize, Vec<String>) {
+        let st = lock(&self.state);
+        (st.failure.clone(), st.truncated, st.step, st.trace.clone())
+    }
+
+    /// Hands back the chooser (the exhaustive driver needs the recorded
+    /// path and widths).
+    pub(crate) fn take_chooser(&self) -> Chooser {
+        let mut st = lock(&self.state);
+        std::mem::replace(&mut st.chooser, Chooser::noop())
+    }
+}
+
+/// Whether `EPIC_CHECK_DEBUG` verbose scheduler logging is on
+/// (checked once per process).
+fn debug_log() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("EPIC_CHECK_DEBUG").is_ok())
+}
+
+/// SAFETY: `addr` must point at a live `std` atomic of the given width.
+unsafe fn raw_load(addr: usize, w: Width) -> u64 {
+    match w {
+        // SAFETY: caller contract.
+        Width::U8 => {
+            unsafe { &*(addr as *const std::sync::atomic::AtomicU8) }.load(Ordering::Relaxed) as u64
+        }
+        // SAFETY: caller contract.
+        Width::U64 => {
+            unsafe { &*(addr as *const std::sync::atomic::AtomicU64) }.load(Ordering::Relaxed)
+        }
+        // SAFETY: caller contract.
+        Width::Usize => unsafe { &*(addr as *const std::sync::atomic::AtomicUsize) }
+            .load(Ordering::Relaxed) as u64,
+    }
+}
+
+/// SAFETY: as [`raw_load`].
+unsafe fn raw_store(addr: usize, val: u64, w: Width) {
+    match w {
+        // SAFETY: caller contract.
+        Width::U8 => unsafe { &*(addr as *const std::sync::atomic::AtomicU8) }
+            .store(val as u8, Ordering::Relaxed),
+        // SAFETY: caller contract.
+        Width::U64 => {
+            unsafe { &*(addr as *const std::sync::atomic::AtomicU64) }.store(val, Ordering::Relaxed)
+        }
+        // SAFETY: caller contract.
+        Width::Usize => unsafe { &*(addr as *const std::sync::atomic::AtomicUsize) }
+            .store(val as usize, Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-local binding: which Rt (if any) the current OS thread belongs
+// to, and its vtid.
+// ---------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn install(rt: Arc<Rt>, vtid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((rt, vtid)));
+}
+
+pub(crate) fn clear() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Runs `f` with the current thread's runtime binding, or `fallback` if
+/// this thread is not under a checker (normal test code, or a model's
+/// helper thread outside the schedule).
+pub(crate) fn with_rt<R>(f: impl FnOnce(&Arc<Rt>, usize) -> R, fallback: impl FnOnce() -> R) -> R {
+    let cur = CURRENT.with(|c| c.borrow().clone());
+    match cur {
+        Some((rt, vtid)) => f(&rt, vtid),
+        None => fallback(),
+    }
+}
+
+/// A guard that installs the binding and clears it on drop (even on
+/// panic), used by the driver and by spawned vthreads.
+pub(crate) struct Binding;
+
+impl Binding {
+    pub(crate) fn new(rt: Arc<Rt>, vtid: usize) -> Binding {
+        install(rt, vtid);
+        Binding
+    }
+}
+
+impl Drop for Binding {
+    fn drop(&mut self) {
+        clear();
+    }
+}

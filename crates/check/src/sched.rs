@@ -1,0 +1,191 @@
+//! Scheduling policies ("choosers").
+//!
+//! A chooser is asked, at every scheduler decision point, to pick one
+//! agent from the currently available set. Three policies:
+//!
+//! * [`Chooser::random`] — burst-random: pick a uniformly random agent
+//!   and let it run for a random burst of 1..=16 steps before
+//!   re-deciding. Bursts matter: many SMR races need one thread to run a
+//!   short *sequence* (e.g. publish-then-validate) uninterrupted and
+//!   then lose the CPU at exactly one point; per-step uniform choice
+//!   makes such windows exponentially unlikely.
+//! * [`Chooser::pct`] — PCT (Burckhardt et al.): random static
+//!   priorities per agent, run the highest-priority available one, with
+//!   `d` priority-change points pre-sampled from the seed. Good at bugs
+//!   of small "depth". A thread's flush agent runs at priority just
+//!   below the thread itself, so publications drain promptly unless the
+//!   schedule decides otherwise.
+//! * [`Chooser::path`] — follow an explicit decision path, recording the
+//!   number of available choices (width) at each point; the exhaustive
+//!   driver uses the widths to backtrack depth-first, and seed replay
+//!   uses it to re-execute a printed `path:...` schedule.
+//!
+//! Whatever the policy, the chosen sequence is fully determined by the
+//! seed (or path), which is what makes replay exact.
+
+use epic_util::rng::XorShift64;
+
+/// A schedulable agent: a virtual thread, or the store-buffer flush
+/// agent of a virtual thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Agent {
+    /// Virtual thread `vtid` takes its next step.
+    Thread(usize),
+    /// The oldest buffered store of vtid's buffer writes through.
+    Flush(usize),
+}
+
+pub(crate) enum Chooser {
+    Random {
+        rng: XorShift64,
+        current: Option<Agent>,
+        burst_left: usize,
+    },
+    Pct {
+        rng: XorShift64,
+        /// Lazily assigned static priority per vtid (higher runs first).
+        prios: Vec<u64>,
+        /// Pre-sampled steps at which the last-run thread is demoted.
+        change_points: Vec<usize>,
+        /// Monotonically decreasing "lowest priority so far" for demotions.
+        low: u64,
+        last: Option<usize>,
+    },
+    Path {
+        /// Decision indices to follow; extended with 0 when exhausted.
+        path: Vec<usize>,
+        /// Recorded number of available agents at each decision.
+        widths: Vec<usize>,
+        pos: usize,
+    },
+    /// Placeholder (used only when the real chooser is taken out).
+    Noop,
+}
+
+impl Chooser {
+    pub(crate) fn random(seed: u64) -> Chooser {
+        Chooser::Random {
+            rng: XorShift64::new(seed),
+            current: None,
+            burst_left: 0,
+        }
+    }
+
+    pub(crate) fn pct(seed: u64, changes: usize, max_steps: usize) -> Chooser {
+        let mut rng = XorShift64::new(seed ^ 0x9E37_79B9_7F4A_7C15);
+        // Change points must land inside the schedule actually executed,
+        // which is usually far shorter than the step *budget*; cap the
+        // sampling range so short models still see demotions.
+        let cap = max_steps.clamp(1, 512) as u64;
+        let mut change_points: Vec<usize> = (0..changes)
+            .map(|_| rng.next_bounded(cap) as usize)
+            .collect();
+        change_points.sort_unstable();
+        Chooser::Pct {
+            rng: XorShift64::new(seed),
+            prios: Vec::new(),
+            change_points,
+            low: 1 << 16,
+            last: None,
+        }
+    }
+
+    pub(crate) fn path(path: Vec<usize>) -> Chooser {
+        Chooser::Path {
+            path,
+            widths: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    pub(crate) fn noop() -> Chooser {
+        Chooser::Noop
+    }
+
+    /// The recorded decision path and widths (meaningful for `Path`).
+    pub(crate) fn recorded(&self) -> (Vec<usize>, Vec<usize>) {
+        match self {
+            Chooser::Path { path, widths, .. } => (path.clone(), widths.clone()),
+            _ => (Vec::new(), Vec::new()),
+        }
+    }
+
+    /// Picks one agent from `agents` (non-empty, deterministic order:
+    /// threads by vtid, then flush agents by vtid).
+    pub(crate) fn choose(&mut self, agents: &[Agent], step: usize) -> Agent {
+        debug_assert!(!agents.is_empty());
+        match self {
+            Chooser::Random {
+                rng,
+                current,
+                burst_left,
+            } => {
+                if *burst_left > 0 {
+                    if let Some(cur) = *current {
+                        if agents.contains(&cur) {
+                            *burst_left -= 1;
+                            return cur;
+                        }
+                    }
+                }
+                let pick = agents[rng.next_bounded(agents.len() as u64) as usize];
+                *current = Some(pick);
+                *burst_left = rng.next_bounded(16) as usize;
+                pick
+            }
+            Chooser::Pct {
+                rng,
+                prios,
+                change_points,
+                low,
+                last,
+            } => {
+                let need = agents
+                    .iter()
+                    .map(|a| match a {
+                        Agent::Thread(t) | Agent::Flush(t) => *t,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                while prios.len() <= need {
+                    // Priorities live well above the demotion band.
+                    prios.push((1 << 20) + rng.next_bounded(1 << 20));
+                }
+                if let Some(l) = *last {
+                    // A change point demotes the thread that ran into it.
+                    while change_points.first().is_some_and(|&c| c <= step) {
+                        change_points.remove(0);
+                        *low -= 1;
+                        prios[l] = *low;
+                    }
+                }
+                let pick = *agents
+                    .iter()
+                    .max_by_key(|a| match a {
+                        Agent::Thread(t) => (prios[*t], 1u8),
+                        // Flushes run just below their thread: buffered
+                        // stores drain "soon" by default, and get delayed
+                        // across other threads only via demotion.
+                        Agent::Flush(t) => (prios[*t], 0u8),
+                    })
+                    .unwrap();
+                if let Agent::Thread(t) = pick {
+                    *last = Some(t);
+                }
+                pick
+            }
+            Chooser::Path { path, widths, pos } => {
+                widths.push(agents.len());
+                let idx = if *pos < path.len() {
+                    path[*pos]
+                } else {
+                    path.push(0);
+                    0
+                };
+                *pos += 1;
+                agents[idx.min(agents.len() - 1)]
+            }
+            Chooser::Noop => agents[0],
+        }
+    }
+}

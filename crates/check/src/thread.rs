@@ -1,0 +1,82 @@
+//! Scheduler-aware thread spawn/join.
+//!
+//! Models spawn workers through [`spawn`] instead of `std::thread::spawn`
+//! so the children become virtual threads under the current checker. On
+//! a thread with no checker bound, this is a plain passthrough.
+//!
+//! Children run on real OS threads but only execute while the scheduler
+//! has granted them the token; a child panic is captured as the
+//! iteration's failure (with its message) and aborts the schedule, then
+//! resumes unwinding so the real `join` still returns `Err`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread as std_thread;
+
+use crate::rt::{self, Rt};
+
+/// Handle to a spawned (possibly virtual) thread.
+pub struct JoinHandle<T> {
+    inner: std_thread::JoinHandle<T>,
+    virt: Option<(Arc<Rt>, usize)>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Joins the thread. Under a checker this first blocks *virtually*
+    /// (a schedulable decision) until the target vthread finishes, then
+    /// performs the real join.
+    pub fn join(self) -> std_thread::Result<T> {
+        if let Some((rt, target)) = &self.virt {
+            rt::with_rt(
+                |_, me| rt.join_block(me, *target),
+                // Joining from outside the schedule (e.g. the driver):
+                // just fall through to the real join.
+                || (),
+            );
+        }
+        self.inner.join()
+    }
+}
+
+/// Spawns a thread; a virtual one when the caller is bound to a checker
+/// runtime, a plain `std::thread` otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let cur = rt::with_rt(|rt, me| Some((rt.clone(), me)), || None);
+    match cur {
+        None => JoinHandle {
+            inner: std_thread::spawn(f),
+            virt: None,
+        },
+        Some((rt, me)) => {
+            // Real `thread::spawn` is a release point: everything the
+            // spawner wrote happens-before the child runs. Mirror that by
+            // draining the spawner's store buffer.
+            rt.flush_self(me);
+            let vtid = rt.register_thread();
+            let rt2 = rt.clone();
+            let inner = std_thread::spawn(move || {
+                let _bind = rt::Binding::new(rt2.clone(), vtid);
+                rt2.wait_first(vtid);
+                let res = catch_unwind(AssertUnwindSafe(f));
+                match res {
+                    Ok(v) => {
+                        rt2.thread_finished(vtid, None);
+                        v
+                    }
+                    Err(payload) => {
+                        rt2.thread_finished(vtid, Some(crate::panic_message(payload.as_ref())));
+                        resume_unwind(payload)
+                    }
+                }
+            });
+            JoinHandle {
+                inner,
+                virt: Some((rt, vtid)),
+            }
+        }
+    }
+}

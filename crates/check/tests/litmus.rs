@@ -1,0 +1,226 @@
+//! Self-tests for the checker itself: litmus tests proving the TSO
+//! store-buffer model finds the weak behaviors it must (and not the ones
+//! it must not), replay determinism, and the no-runtime passthrough.
+
+use std::sync::Arc;
+
+use epic_check::atomic::{fence, AtomicUsize, Ordering};
+use epic_check::{check, ctx, explore, replay, thread, Config, Outcome};
+
+/// The classic store-buffering (SB) litmus: with plain (buffered)
+/// stores, both threads may read 0 — the checker must find it.
+fn sb_model(store_ord: Ordering, fence_between: bool) -> impl Fn() + Sync {
+    move || {
+        let x = Arc::new(AtomicUsize::new(0));
+        let y = Arc::new(AtomicUsize::new(0));
+        let (x1, y1) = (x.clone(), y.clone());
+        let t1 = thread::spawn(move || {
+            x1.store(1, store_ord);
+            if fence_between {
+                fence(Ordering::SeqCst);
+            }
+            y1.load(Ordering::SeqCst)
+        });
+        let (x2, y2) = (x.clone(), y.clone());
+        let t2 = thread::spawn(move || {
+            y2.store(1, store_ord);
+            if fence_between {
+                fence(Ordering::SeqCst);
+            }
+            x2.load(Ordering::SeqCst)
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        assert!(
+            !(r1 == 0 && r2 == 0),
+            "store buffering observed: r1 == r2 == 0"
+        );
+    }
+}
+
+#[test]
+fn sb_with_relaxed_stores_is_found() {
+    let out = explore(
+        Config::random(500).with_seed(11),
+        sb_model(Ordering::Release, false),
+    );
+    match out {
+        Outcome::Fail(f) => assert!(
+            f.message.contains("store buffering observed"),
+            "{}",
+            f.message
+        ),
+        Outcome::Pass { .. } => panic!("checker missed the store-buffering behavior"),
+    }
+}
+
+#[test]
+fn sb_with_relaxed_stores_is_found_exhaustively() {
+    let out = explore(
+        Config::exhaustive(50_000),
+        sb_model(Ordering::Relaxed, false),
+    );
+    assert!(
+        out.is_fail(),
+        "exhaustive exploration missed store buffering"
+    );
+}
+
+#[test]
+fn sb_with_seqcst_stores_passes_exhaustively() {
+    // SeqCst stores write through: both-read-zero must be impossible in
+    // EVERY schedule, which exhaustive mode proves for this tiny model.
+    match explore(
+        Config::exhaustive(200_000),
+        sb_model(Ordering::SeqCst, false),
+    ) {
+        Outcome::Pass { iters } => {
+            assert!(
+                iters < 200_000,
+                "path space not fully enumerated ({iters} paths)"
+            )
+        }
+        Outcome::Fail(f) => panic!("false positive under SeqCst stores:\n{}", f.report()),
+    }
+}
+
+#[test]
+fn sb_with_seqcst_fence_passes_exhaustively() {
+    // store(Relaxed); fence(SeqCst); load — the fence drains the buffer,
+    // which also forbids the weak outcome.
+    match explore(
+        Config::exhaustive(200_000),
+        sb_model(Ordering::Relaxed, true),
+    ) {
+        Outcome::Pass { iters } => {
+            assert!(
+                iters < 200_000,
+                "path space not fully enumerated ({iters} paths)"
+            )
+        }
+        Outcome::Fail(f) => panic!("false positive under SeqCst fences:\n{}", f.report()),
+    }
+}
+
+#[test]
+fn pct_mode_also_finds_sb() {
+    let out = explore(
+        Config::pct(500).with_seed(23),
+        sb_model(Ordering::Relaxed, false),
+    );
+    assert!(out.is_fail(), "PCT exploration missed store buffering");
+}
+
+#[test]
+fn failing_seed_replays_byte_identically() {
+    let f1 = match explore(
+        Config::random(500).with_seed(99),
+        sb_model(Ordering::Relaxed, false),
+    ) {
+        Outcome::Fail(f) => f,
+        Outcome::Pass { .. } => panic!("expected a failure to replay"),
+    };
+    for _ in 0..2 {
+        let f2 = match replay(
+            Config::random(500),
+            &f1.seed,
+            sb_model(Ordering::Relaxed, false),
+        ) {
+            Outcome::Fail(f) => f,
+            Outcome::Pass { .. } => panic!("replay of seed {} did not fail", f1.seed),
+        };
+        assert_eq!(f1.message, f2.message);
+        assert_eq!(f1.trace, f2.trace, "replayed trace differs from original");
+        assert_eq!(f1.steps, f2.steps);
+    }
+}
+
+#[test]
+fn rmw_is_atomic_under_contention() {
+    // Two threads of 10 fetch_adds each; any lost update would show.
+    check(Config::random(100).with_seed(3), || {
+        let c = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let c = c.clone();
+                thread::spawn(move || {
+                    for _ in 0..10 {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 20);
+    });
+}
+
+#[test]
+fn child_panic_is_captured_with_message() {
+    let out = explore(Config::random(5).with_seed(1), || {
+        let t = thread::spawn(|| panic!("boom-12345"));
+        let _ = t.join();
+    });
+    match out {
+        Outcome::Fail(f) => {
+            assert!(
+                f.message.contains("boom-12345"),
+                "message lost: {}",
+                f.message
+            );
+            assert!(
+                f.seed.parse::<u64>().is_ok(),
+                "seed not replayable: {}",
+                f.seed
+            );
+        }
+        Outcome::Pass { .. } => panic!("child panic not captured"),
+    }
+}
+
+#[test]
+fn ctx_bits_reach_the_model() {
+    check(Config::random(2).with_seed(5).with_ctx(0b101), || {
+        assert_eq!(ctx(), 0b101);
+    });
+    assert_eq!(ctx(), 0, "ctx() must be 0 outside a checker");
+}
+
+#[test]
+fn shims_pass_through_without_a_runtime() {
+    // No checker bound: shim ops behave exactly like std atomics and
+    // thread::spawn is a plain std spawn.
+    let a = AtomicUsize::new(5);
+    assert_eq!(a.load(Ordering::SeqCst), 5);
+    a.store(7, Ordering::Release);
+    assert_eq!(a.swap(9, Ordering::AcqRel), 7);
+    assert_eq!(a.fetch_add(1, Ordering::Relaxed), 9);
+    assert_eq!(
+        a.compare_exchange(10, 11, Ordering::SeqCst, Ordering::Relaxed),
+        Ok(10)
+    );
+    fence(Ordering::SeqCst);
+    epic_check::yield_now();
+    epic_check::flush_self();
+    let t = thread::spawn(|| 42);
+    assert_eq!(t.join().unwrap(), 42);
+}
+
+#[test]
+fn spin_loop_truncates_benignly() {
+    // A spin loop can eat the whole step budget; hitting the budget must
+    // truncate the schedule (a pass) and still run everything to
+    // completion, never hang or fail.
+    check(Config::random(3).with_seed(8).with_max_steps(200), || {
+        let stop = Arc::new(AtomicUsize::new(0));
+        let s2 = stop.clone();
+        let t = thread::spawn(move || {
+            // Spins forever; the step budget truncates the schedule.
+            while s2.load(Ordering::SeqCst) == 0 {}
+        });
+        stop.store(1, Ordering::SeqCst);
+        t.join().unwrap();
+    });
+}

@@ -12,11 +12,11 @@ use crate::freebuf::{FreeBuffer, PoolBins};
 use crate::retired::RetiredList;
 use crate::smr_stats::SmrStats;
 
+use crate::sync::Ordering;
 use epic_alloc::{PoolAllocator, Segment, SegmentPool, Tid};
 use epic_timeline::EventKind;
 use epic_util::{now_ns, TidSlots};
 use std::ptr::NonNull;
-use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::sync::Arc;
 

@@ -28,12 +28,12 @@
 //! type can cross threads (`!Send`/`!Sync`) — see the `compile_fail`
 //! doctests on [`SmrHandle`].
 
+use crate::sync::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use crate::{RawSmr, SmrKind, SmrSnapshot};
 use epic_alloc::{PoolAllocator, Tid};
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::ptr::NonNull;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Low link-word bits treated as data-structure tag bits (mark flags).
@@ -341,7 +341,10 @@ impl SmrHandle {
     #[inline]
     pub fn begin_op(&self) -> OpGuard<'_> {
         self.raw.begin_op(self.tid);
-        OpGuard { h: self }
+        OpGuard {
+            h: self,
+            stale: Cell::new(false),
+        }
     }
 
     /// Allocates `size` bytes for a node: object pool first
@@ -406,8 +409,21 @@ impl Drop for SmrHandle {
 /// RAII operation scope obtained from [`SmrHandle::begin_op`]; `end_op`
 /// runs on drop. Carries the protocol combinators the data structures
 /// build on — see [`protect_load`](OpGuard::protect_load).
+///
+/// Like the handle it borrows, a guard is pinned to its thread:
+///
+/// ```compile_fail
+/// fn assert_send<T: Send>() {}
+/// assert_send::<epic_smr::OpGuard<'static>>(); // ERROR: OpGuard is !Send
+/// ```
 pub struct OpGuard<'h> {
     h: &'h SmrHandle,
+    /// Set by [`restart`](Self::restart): protections established before
+    /// the restart are void, so a retire before re-protecting (another
+    /// [`protect_load`](Self::protect_load) or
+    /// [`enter_write_phase`](Self::enter_write_phase)) is a misuse —
+    /// [`retire`](Self::retire) panics on it.
+    stale: Cell<bool>,
 }
 
 impl<'h> OpGuard<'h> {
@@ -443,6 +459,16 @@ impl<'h> OpGuard<'h> {
     /// Epoch/token schemes compile this down to the single `Acquire` load.
     #[inline]
     pub fn protect_load(&self, slot: usize, link: &AtomicUsize) -> Result<usize, Restart> {
+        let r = self.protect_load_inner(slot, link);
+        if r.is_ok() {
+            // A successful protection re-arms the guard after a restart.
+            self.stale.set(false);
+        }
+        r
+    }
+
+    #[inline]
+    fn protect_load_inner(&self, slot: usize, link: &AtomicUsize) -> Result<usize, Restart> {
         let mut raw = link.load(Ordering::Acquire);
         match &self.h.local.0 {
             Local::Passive => Ok(raw),
@@ -457,7 +483,10 @@ impl<'h> OpGuard<'h> {
                 loop {
                     // SeqCst: the announcement must be ordered before the
                     // validating re-read (Michael's protocol).
-                    s.store(raw & !LINK_TAG_MASK, Ordering::SeqCst);
+                    s.store(
+                        raw & !LINK_TAG_MASK,
+                        crate::mutants::ord(crate::mutants::M_HP_PUBLISH_RELAXED, Ordering::SeqCst),
+                    );
                     let again = link.load(Ordering::Acquire);
                     if again == raw {
                         return Ok(raw);
@@ -514,7 +543,15 @@ impl<'h> OpGuard<'h> {
                 loop {
                     let e = era.load(Ordering::SeqCst);
                     if hi.load(Ordering::Relaxed) < e {
-                        hi.store(e, Ordering::SeqCst);
+                        // SeqCst: the widened interval must be visible
+                        // before the validating re-read.
+                        hi.store(
+                            e,
+                            crate::mutants::ord(
+                                crate::mutants::M_IBR_BUMP_RELAXED,
+                                Ordering::SeqCst,
+                            ),
+                        );
                     }
                     let again = link.load(Ordering::Acquire);
                     if again == raw {
@@ -562,6 +599,7 @@ impl<'h> OpGuard<'h> {
     /// [`RawSmr::enter_write_phase`]).
     #[inline]
     pub fn enter_write_phase(&self, ptrs: &[usize]) {
+        self.stale.set(false);
         self.h.raw.enter_write_phase(self.h.tid, ptrs);
     }
 
@@ -570,12 +608,23 @@ impl<'h> OpGuard<'h> {
     /// clearing write-phase immunity and re-ticking the amortized drain.
     #[inline]
     pub fn restart(&self) {
+        self.stale.set(true);
         self.h.raw.begin_op(self.h.tid);
     }
 
     /// Retires an unlinked node through the scheme (see [`RawSmr::retire`]).
+    ///
+    /// # Panics
+    /// If called after [`restart`](Self::restart) without re-protecting
+    /// first: the restart voided every protection this guard had
+    /// established, so the "unlinked" node may never have been safely
+    /// reachable.
     #[inline]
     pub fn retire(&self, ptr: NonNull<u8>) {
+        assert!(
+            !self.stale.get(),
+            "OpGuard::retire after restart(): re-protect (protect_load / enter_write_phase) first"
+        );
         self.h.raw.retire(self.h.tid, ptr);
     }
 
@@ -639,6 +688,39 @@ mod tests {
     fn out_of_range_register_panics() {
         let s = smr(SmrKind::Qsbr, 2);
         let _ = s.register(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "retire after restart()")]
+    fn retire_after_restart_panics() {
+        let s = smr(SmrKind::Hp, 1);
+        let h = s.register(0);
+        let g = h.begin_op();
+        let p = g.alloc(64);
+        g.enter_write_phase(&[p.as_ptr() as usize]);
+        g.restart(); // voids the protections established above
+        g.retire(p); // must panic: nothing re-protected since the restart
+    }
+
+    #[test]
+    fn retire_after_restart_and_reprotect_is_fine() {
+        for kind in SmrKind::ALL {
+            let s = smr(kind, 1);
+            let h = s.register(0);
+            {
+                let g = h.begin_op();
+                let p = g.alloc(64);
+                let link = AtomicUsize::new(p.as_ptr() as usize);
+                g.restart();
+                // The ds crates' lost-CAS loops re-traverse (protect_load)
+                // or re-pin (enter_write_phase) before retiring again.
+                let read = g.protect_load(0, &link).expect("no neutralization");
+                g.enter_write_phase(&[read]);
+                g.retire(p);
+            }
+            s.quiesce_and_drain();
+            assert_eq!(s.stats().retired, 1, "{kind:?}");
+        }
     }
 
     #[test]

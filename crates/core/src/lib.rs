@@ -59,9 +59,11 @@ pub mod common;
 pub mod config;
 pub mod freebuf;
 pub mod handle;
+pub mod mutants;
 pub mod retired;
 pub mod schemes;
 pub mod smr_stats;
+pub mod sync;
 
 pub use common::SchemeCommon;
 pub use config::{FreeMode, SmrConfig};

@@ -10,9 +10,9 @@
 //! allocations**, and nothing the measurement harness does shows up as
 //! allocator traffic attributed to the scheme under test.
 
+use crate::sync::Ordering;
 use epic_alloc::BlockHeader;
 use std::ptr::NonNull;
-use std::sync::atomic::Ordering;
 
 /// One retired (unlinked but not yet freed) object.
 ///
@@ -227,7 +227,9 @@ impl RetiredList {
         }
         self.tail = other.tail;
         self.len += other.len;
-        *other = RetiredList::new();
+        if !crate::mutants::active(crate::mutants::M_SPLICE_KEEP_SOURCE) {
+            *other = RetiredList::new();
+        }
     }
 
     /// Takes the whole list by value, leaving this one empty.

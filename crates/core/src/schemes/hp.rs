@@ -16,10 +16,10 @@ use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
 use crate::{RawSmr, SchemeLocal, SmrKind};
 
+use crate::sync::{fence, AtomicUsize, Ordering};
 use epic_alloc::{PoolAllocator, Tid};
 use epic_util::TidSlots;
 use std::ptr::NonNull;
-use std::sync::atomic::{fence, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 struct HpThread {

@@ -16,11 +16,11 @@ use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
 use crate::{RawSmr, SchemeLocal, SmrKind};
 
+use crate::sync::{fence, AtomicU64, Ordering};
 use epic_alloc::block;
 use epic_alloc::{PoolAllocator, Tid};
 use epic_util::{CachePadded, TidSlots};
 use std::ptr::NonNull;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
 
 const NONE: u64 = u64::MAX;

@@ -48,11 +48,11 @@ use crate::retired::RetiredList;
 use crate::smr_stats::SmrSnapshot;
 use crate::{RawSmr, SchemeLocal, SmrKind};
 
+use crate::sync::{fence, AtomicU64, AtomicUsize, Ordering};
 use epic_alloc::{PoolAllocator, Tid};
 use epic_timeline::EventKind;
 use epic_util::{now_ns, Backoff, CachePadded, TidSlots};
 use std::ptr::NonNull;
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Thread status values.

@@ -14,10 +14,10 @@ use crate::schemes::EpochBag;
 use crate::smr_stats::SmrSnapshot;
 use crate::{RawSmr, SchemeLocal, SmrKind};
 
+use crate::sync::{AtomicU64, Ordering};
 use epic_alloc::{PoolAllocator, Tid};
 use epic_util::{CachePadded, TidSlots};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Announcement sentinel: the thread has left the workload and counts as
@@ -145,6 +145,9 @@ impl RawSmr for QsbrSmr {
     }
 
     fn detach(&self, tid: Tid) {
+        if crate::mutants::active(crate::mutants::M_QSBR_DETACH_SKIP) {
+            return;
+        }
         // Without this, a finished thread's frozen announcement would pin
         // the fuzzy barrier forever — the QSBR equivalent of EBR's
         // thread-delay sensitivity, solved by explicit unregistration.

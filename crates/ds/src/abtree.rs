@@ -24,9 +24,9 @@
 
 use crate::{alloc_node, dealloc_node, free_node_quiescent, ConcurrentMap, MAX_KEY};
 use epic_alloc::PoolAllocator;
+use epic_smr::sync::{AtomicUsize, Ordering};
 use epic_smr::{OpGuard, Restart, Smr, SmrHandle};
 use epic_util::TicketLock;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Maximum keys per leaf and children per internal node.

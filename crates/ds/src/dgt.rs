@@ -19,9 +19,9 @@
 
 use crate::{alloc_node, free_node_quiescent, ConcurrentMap, MAX_KEY};
 use epic_alloc::PoolAllocator;
+use epic_smr::sync::{AtomicUsize, Ordering};
 use epic_smr::{OpGuard, Restart, Smr, SmrHandle};
 use epic_util::TicketLock;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One node of the external BST (leaf or internal). 64 bytes of payload

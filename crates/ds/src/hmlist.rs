@@ -22,8 +22,8 @@
 
 use crate::{alloc_node, dealloc_node, free_node_quiescent, ConcurrentMap, MAX_KEY};
 use epic_alloc::PoolAllocator;
+use epic_smr::sync::{AtomicUsize, Ordering};
 use epic_smr::{OpGuard, Restart, Smr, SmrHandle};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Mark bit stored in the low bit of `next` (nodes are ≥ 8-aligned).

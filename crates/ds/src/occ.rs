@@ -22,9 +22,9 @@
 
 use crate::{alloc_node, free_node_quiescent, ConcurrentMap, MAX_KEY};
 use epic_alloc::PoolAllocator;
+use epic_smr::sync::{AtomicU64, AtomicUsize, Ordering};
 use epic_smr::{OpGuard, Restart, Smr, SmrHandle};
 use epic_util::SeqLock;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Tombstone value marking a routing node.

@@ -1,0 +1,188 @@
+//! Deterministic fuzzing for `epic_util::json`.
+//!
+//! Two properties, both under fixed seeds so failures reproduce exactly:
+//!
+//! 1. **Round trip**: for generated values `v` built from the renderable
+//!    subset (finite numbers, arbitrary strings, bounded nesting),
+//!    `parse(render(v)) == v` and a second render is byte-stable.
+//! 2. **Error, not panic**: malformed documents — a hand-written corpus
+//!    plus seeded mutations of valid documents — must return `Err`
+//!    (or a different valid value), never panic, hang, or succeed with
+//!    trailing garbage.
+
+use epic_util::json::Json;
+use epic_util::XorShift64;
+
+/// A deterministic generator over the subset of values the renderer can
+/// represent losslessly: no NaN/±inf (they render as `null` by design)
+/// and depth-bounded containers.
+fn gen_value(rng: &mut XorShift64, depth: usize) -> Json {
+    // At the depth limit only scalars; otherwise containers get rarer
+    // with depth so documents stay small.
+    let scalar_only = depth == 0;
+    match rng.next_bounded(if scalar_only { 4 } else { 6 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.coin()),
+        2 => Json::Num(gen_number(rng)),
+        3 => Json::Str(gen_string(rng)),
+        4 => {
+            let n = rng.next_bounded(4) as usize;
+            Json::Arr((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.next_bounded(4) as usize;
+            Json::Obj(
+                (0..n)
+                    .map(|_| (gen_string(rng), gen_value(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn gen_number(rng: &mut XorShift64) -> f64 {
+    match rng.next_bounded(4) {
+        // Small integers: exercise the integral `x.0` rendering rule.
+        0 => rng.next_bounded(2_001) as f64 - 1_000.0,
+        // Dyadic fractions: exactly representable, non-integral.
+        1 => (rng.next_bounded(1 << 20) as f64 - (1 << 19) as f64) / 64.0,
+        // Large magnitudes: cross the 1e15 formatting cutoff.
+        2 => (rng.next_u64() >> 8) as f64 * 1e3,
+        // Arbitrary finite doubles via shortest-roundtrip formatting.
+        _ => {
+            let bits = rng.next_u64();
+            let v = f64::from_bits(bits);
+            if v.is_finite() {
+                v
+            } else {
+                bits as f64 // NaN/inf bit patterns: fall back to an integer
+            }
+        }
+    }
+}
+
+fn gen_string(rng: &mut XorShift64) -> String {
+    let n = rng.next_bounded(12) as usize;
+    (0..n)
+        .map(|_| match rng.next_bounded(5) {
+            // Plain ASCII.
+            0 | 1 => (b'a' + rng.next_bounded(26) as u8) as char,
+            // Characters the writer must escape.
+            2 => ['"', '\\', '\n', '\t', '/'][rng.next_bounded(5) as usize],
+            // Control characters (forced through \uXXXX).
+            3 => char::from_u32(rng.next_bounded(0x20) as u32).unwrap(),
+            // Non-ASCII scalars, including astral plane (surrogate pairs
+            // in escapes, multi-byte UTF-8 raw).
+            _ => ['é', 'ß', '中', '🦀', '😀', '\u{7f}', '\u{2028}'][rng.next_bounded(7) as usize],
+        })
+        .collect()
+}
+
+#[test]
+fn generated_values_round_trip() {
+    let mut rng = XorShift64::new(0x5eed_0001);
+    for i in 0..500 {
+        let v = gen_value(&mut rng, 3);
+        let rendered = v.render();
+        let back = Json::parse(&rendered)
+            .unwrap_or_else(|e| panic!("iter {i}: rendered doc failed to parse: {e}\n{rendered}"));
+        assert_eq!(
+            back, v,
+            "iter {i}: value changed across the round trip\n{rendered}"
+        );
+        // Render is a fixed point: a second trip is byte-identical.
+        assert_eq!(back.render(), rendered, "iter {i}: render not stable");
+    }
+}
+
+#[test]
+fn malformed_corpus_errors_without_panic() {
+    let corpus = [
+        "",
+        " ",
+        "nul",
+        "truefalse",
+        "+1",
+        "-",
+        "0x10",
+        "1e",
+        "1e+",
+        "--1",
+        "1.2.3",
+        "[",
+        "[1 2]",
+        "[1,]",
+        "[,1]",
+        "]",
+        "{",
+        "}",
+        "{]",
+        "{\"a\"}",
+        "{\"a\":}",
+        "{\"a\":1,}",
+        "{a:1}",
+        "{1:2}",
+        "\"",
+        "\"\\\"",
+        "\"\\x41\"",
+        "\"\\u12\"",
+        "\"\\u123g\"",
+        "\"\\ud800\"",
+        "\"\\ud800\\n\"",
+        "\"\\udc00\"",
+        "null null",
+        "[1] []",
+        "\u{0}",
+        "[\u{1}]",
+    ];
+    for doc in corpus {
+        // The property is "returns", not "returns Err with a nice
+        // message": parse must come back with an error, not panic.
+        assert!(Json::parse(doc).is_err(), "should reject {doc:?}");
+    }
+}
+
+#[test]
+fn mutated_documents_error_or_reparse_without_panic() {
+    let mut rng = XorShift64::new(0x5eed_0002);
+    let seeds: Vec<String> = (0..40).map(|_| gen_value(&mut rng, 3).render()).collect();
+    let mut parsed = 0usize;
+    for (i, seed_doc) in seeds.iter().enumerate() {
+        for j in 0..40 {
+            let mut bytes = seed_doc.clone().into_bytes();
+            if bytes.is_empty() {
+                continue;
+            }
+            // One random byte-level mutation: overwrite, delete, or
+            // duplicate. The result is often invalid UTF-8 or invalid
+            // JSON; it must never be a panic.
+            let pos = rng.next_bounded(bytes.len() as u64) as usize;
+            match rng.next_bounded(3) {
+                0 => bytes[pos] = rng.next_u64() as u8,
+                1 => {
+                    bytes.remove(pos);
+                }
+                _ => {
+                    let b = bytes[pos];
+                    bytes.insert(pos, b);
+                }
+            }
+            match String::from_utf8(bytes) {
+                // Invalid UTF-8 never reaches the parser (it takes &str);
+                // that rejection layer is std's job, not ours.
+                Err(_) => continue,
+                Ok(doc) => {
+                    // Either outcome is fine; panicking is not.
+                    if Json::parse(&doc).is_ok() {
+                        parsed += 1;
+                    } else {
+                        let _ = (i, j); // labels available when debugging
+                    }
+                }
+            }
+        }
+    }
+    // Sanity: some mutations must still parse (e.g. digit tweaks),
+    // otherwise the mutator is only producing trivially-broken inputs.
+    assert!(parsed > 0, "mutator never produced a still-valid document");
+}
