@@ -3,7 +3,7 @@
 //!
 //! Normal builds re-export `std::sync::atomic` — zero cost. Under
 //! `RUSTFLAGS="--cfg epic_model_check"` the same names come from
-//! [`epic_check::atomic`], whose shims are `#[repr(transparent)]`
+//! `epic_check::atomic`, whose shims are `#[repr(transparent)]`
 //! wrappers over the `std` types — same size and alignment, so the
 //! `HEADER_SIZE == 32` layout assertion holds under both cfgs.
 

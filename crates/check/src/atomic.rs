@@ -7,7 +7,7 @@
 //! are only compiled in at all under `--cfg epic_model_check`).
 //!
 //! On a bound thread, every operation becomes a scheduler step and goes
-//! through the TSO store-buffer model (see [`crate::rt`]).
+//! through the TSO store-buffer model (see the private `rt` module).
 
 use std::panic::Location;
 use std::sync::atomic as std_atomic;

@@ -3,7 +3,7 @@
 //!
 //! The container this project builds in is offline, so instead of loom
 //! or shuttle we carry our own small checker: virtual threads under a
-//! controlled scheduler ([`rt`]), instrumented atomics that model TSO
+//! controlled scheduler (the private `rt` module), instrumented atomics that model TSO
 //! store buffers ([`atomic`]), and a handful of scheduling policies
 //! ([burst-random, PCT, bounded-exhaustive](Mode)).
 //!

@@ -1,0 +1,463 @@
+//! The adaptive batch-free controller behind
+//! [`FreeMode::Adaptive`](crate::config::FreeMode::Adaptive).
+//!
+//! The paper's finding is that every *fixed* batch-free configuration is
+//! harmful somewhere: small limbo bags scan too often, big ones batch-free
+//! through the allocator's thread cache and trigger flush storms, and the
+//! right amortized drain rate depends on the workload's retire/alloc
+//! balance (§7). This module stops picking constants. Each thread owns an
+//! [`AdaptiveCtrl`] that retunes two knobs — the limbo-bag cap and the
+//! amortized drain rate — from signals the stats layer already collects:
+//!
+//! * **allocator flush pressure** — `flushes` from
+//!   [`epic_alloc::ThreadAllocStats`]: a flush inside a control window
+//!   means freeing outran the thread cache, the remote-batch-free problem
+//!   in miniature;
+//! * **the garbage gauge** — the thread's own
+//!   [`garbage`](crate::smr_stats::ThreadSmrCounters::garbage) gauge (and
+//!   its peak watermark), which bounds how much memory the knobs are
+//!   allowed to park in limbo;
+//! * **sampled drain latency** — the 1-in-64
+//!   [`on_drain_tick`](crate::smr_stats::ThreadSmrCounters::on_drain_tick)
+//!   timing of the amortized drain: a per-object free that suddenly costs
+//!   multiples of last window's means drains started hitting the
+//!   allocator's slow path;
+//! * **scan frequency** — reclamation scans per window: frequent scans
+//!   with no flush pressure mean the bag cap is wastefully small.
+//!
+//! **Fast-path cost budget.** Nothing here runs per operation. The retire
+//! fast path reads one `usize` (the current cap) from the thread's own
+//! controller slot; [`AdaptiveCtrl::update`] runs only at batch-disposal
+//! boundaries (a reclamation scan or epoch advance just happened, i.e. we
+//! are already off the per-op path), does integer arithmetic on a few
+//! `Copy` fields, and allocates nothing — the counting-allocator
+//! microbench asserts the whole mode stays at zero steady-state heap
+//! allocations.
+//!
+//! **Update rule** (AIMD, documented in DESIGN.md §10): multiplicative
+//! decrease of the cap on flush pressure or a drain-latency spike;
+//! additive-ish increase either when scans are frequent and the allocator
+//! is quiet (epoch-style schemes can see several scans per disposal
+//! window), or — for threshold schemes, whose disposal *is* the scan, so
+//! the scan counter advances exactly once per window — after a streak of
+//! quiet windows, recovering toward the *configured* cap but never past it
+//! without genuine scan pressure. The drain rate rises while the freeable
+//! backlog grows and decays back toward 1 when the backlog clears. A
+//! garbage budget (a multiple of the configured cap) overrides growth so
+//! limbo memory stays bounded. The relief valve
+//! ([`SmrConfig::af_backlog_cap`]) is deliberately *not* a controlled
+//! knob: it is the operator's hard backstop, and tying it to a shrinking
+//! cap would convert allocator pressure into per-op inline frees on
+//! schemes whose disposal cadence the cap does not govern.
+
+use crate::config::SmrConfig;
+
+/// Hard ceiling for the amortized drain rate. Draining more than this per
+/// allocation stops being "amortized" and becomes the batch-free spike the
+/// mode exists to avoid (§7 tunes per-op counts of 1–2).
+pub const PER_OP_MAX: usize = 8;
+
+/// Multiplier on the *configured* bag cap that bounds how far the
+/// controller may grow the cap (and, at 4×, how much garbage it tolerates
+/// before forcing the cap back down).
+pub const CAP_GROWTH_LIMIT: usize = 8;
+
+/// Consecutive quiet windows (no flush, no latency spike) before a
+/// previously shrunk cap starts recovering toward the configured one.
+pub const QUIET_RECOVERY_WINDOWS: u32 = 8;
+
+/// One control window's worth of signals, sampled at a batch-disposal
+/// boundary. All fields are cheap owner-thread reads: `Cell` loads from
+/// the thread's own stats block and a stack snapshot of its allocator
+/// counters — no heap allocation, no cross-thread traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CtrlSignals {
+    /// Current freeable-list backlog (objects parked for amortized
+    /// draining).
+    pub backlog: usize,
+    /// The thread's own unreclaimed-garbage gauge.
+    pub garbage: u64,
+    /// Monotone allocator flush count for this thread
+    /// ([`epic_alloc::ThreadAllocStats::flushes`]).
+    pub flushes: u64,
+    /// Monotone reclamation-scan count for this thread.
+    pub scans: u64,
+    /// Monotone sampled free time for this thread (ns, extrapolated by the
+    /// 1-in-64 sample period).
+    pub free_ns: u64,
+    /// Monotone freed-object count for this thread.
+    pub freed: u64,
+}
+
+/// Per-thread online controller for the batch-free knobs.
+///
+/// Owned by one thread (stored in a `TidSlots` slot under the SMR layer's
+/// tid-exclusivity contract); all methods are plain field arithmetic.
+#[derive(Debug, Clone)]
+pub struct AdaptiveCtrl {
+    per_op: usize,
+    bag_cap: usize,
+    /// The configured cap — the recovery target after pressure clears.
+    start_cap: usize,
+    min_cap: usize,
+    max_cap: usize,
+    /// The configured relief-valve threshold (`SmrConfig::af_backlog_cap`);
+    /// constant, see the module docs for why it is not a controlled knob.
+    relief_cap: usize,
+    /// Quiet windows since the last pressure event.
+    quiet_windows: u32,
+    /// Garbage budget: gauge beyond this forces the cap down regardless of
+    /// scan pressure.
+    garbage_budget: u64,
+    /// Previous-window monotone baselines (deltas are the window signals).
+    last_flushes: u64,
+    last_scans: u64,
+    last_free_ns: u64,
+    last_freed: u64,
+    last_backlog: usize,
+    /// Previous window's mean per-object drain cost (ns), for spike
+    /// detection; 0 until a window actually freed something.
+    last_drain_ns_per_obj: u64,
+    updates: u64,
+    adjustments: u64,
+}
+
+impl AdaptiveCtrl {
+    /// A controller whose initial operating point is the configured static
+    /// knobs: `cfg.bag_cap` as the starting cap (also anchoring the
+    /// min/max bounds and garbage budget) and a drain rate of 1.
+    pub fn new(cfg: &SmrConfig) -> Self {
+        let start = cfg.bag_cap.max(1);
+        let min_cap = (start / CAP_GROWTH_LIMIT).max(32).min(start);
+        let max_cap = start.saturating_mul(CAP_GROWTH_LIMIT);
+        AdaptiveCtrl {
+            per_op: 1,
+            bag_cap: start,
+            start_cap: start,
+            min_cap,
+            max_cap,
+            relief_cap: cfg.af_backlog_cap.max(1),
+            quiet_windows: 0,
+            garbage_budget: (max_cap as u64).saturating_mul(4),
+            last_flushes: 0,
+            last_scans: 0,
+            last_free_ns: 0,
+            last_freed: 0,
+            last_backlog: 0,
+            last_drain_ns_per_obj: 0,
+            updates: 0,
+            adjustments: 0,
+        }
+    }
+
+    /// The current limbo-bag cap (the threshold schemes' scan trigger).
+    #[inline]
+    pub fn bag_cap(&self) -> usize {
+        self.bag_cap
+    }
+
+    /// The current amortized drain rate (objects per allocation).
+    #[inline]
+    pub fn per_op(&self) -> usize {
+        self.per_op
+    }
+
+    /// The backlog level at which `begin_op` drains extra objects: the
+    /// configured [`SmrConfig::af_backlog_cap`]. Constant by design — the
+    /// relief valve is the operator's backstop, not a tuned knob (see the
+    /// module docs).
+    #[inline]
+    pub fn relief_cap(&self) -> usize {
+        self.relief_cap
+    }
+
+    /// Control windows processed so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Windows in which at least one knob actually moved — a stabilized
+    /// controller keeps `updates` rising while this stays put.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// Consumes one control window and retunes the knobs. Returns `true`
+    /// if either knob moved.
+    ///
+    /// Runs at batch-disposal boundaries only (never per-op); pure integer
+    /// arithmetic on `self`, no allocation.
+    pub fn update(&mut self, s: CtrlSignals) -> bool {
+        self.updates += 1;
+        let d_flushes = s.flushes.wrapping_sub(self.last_flushes);
+        let d_scans = s.scans.wrapping_sub(self.last_scans);
+        let d_free_ns = s.free_ns.wrapping_sub(self.last_free_ns);
+        let d_freed = s.freed.wrapping_sub(self.last_freed);
+        let drain_ns_per_obj = d_free_ns.checked_div(d_freed).unwrap_or(0);
+
+        let (old_cap, old_per_op) = (self.bag_cap, self.per_op);
+
+        // --- drain rate: track the backlog. ---
+        // The alloc-coupled drain services arrivals at exactly rate 1; a
+        // growing backlog means this workload retires more than one object
+        // per allocation, so raise the rate (×2, capped). A near-empty
+        // backlog means we overshot: decay back toward 1.
+        if s.backlog > self.relief_cap() && s.backlog > self.last_backlog {
+            self.per_op = (self.per_op * 2).min(PER_OP_MAX);
+        } else if s.backlog < self.bag_cap / 4 && self.per_op > 1 {
+            self.per_op -= 1;
+        }
+
+        // --- bag cap: balance flush pressure against scan frequency. ---
+        // A flush inside the window (or a per-object drain cost that
+        // spiked to 2× last window's) says reclamation is overrunning the
+        // thread cache: halve the cap so safe batches shrink. Otherwise,
+        // several scans in one window with a quiet allocator says the cap
+        // is wastefully small: grow it by a quarter. Threshold schemes
+        // dispose exactly once per scan, so their scan delta is pinned at
+        // 1 and the multi-scan branch can never fire — for them, a quiet
+        // streak instead recovers a shrunk cap toward the configured
+        // operating point (never past it without genuine scan pressure).
+        let latency_spike = self.last_drain_ns_per_obj > 0
+            && drain_ns_per_obj > self.last_drain_ns_per_obj.saturating_mul(2);
+        if d_flushes > 0 || latency_spike {
+            self.bag_cap = (self.bag_cap / 2).max(self.min_cap);
+            self.quiet_windows = 0;
+        } else {
+            self.quiet_windows = self.quiet_windows.saturating_add(1);
+            if d_scans >= 4 {
+                self.bag_cap = (self.bag_cap + self.bag_cap / 4).min(self.max_cap);
+            } else if self.quiet_windows >= QUIET_RECOVERY_WINDOWS && self.bag_cap < self.start_cap
+            {
+                self.bag_cap = (self.bag_cap + (self.bag_cap / 4).max(1)).min(self.start_cap);
+                self.quiet_windows = 0;
+            }
+        }
+
+        // --- garbage budget: bound limbo memory. ---
+        // Growth never gets to park unbounded garbage: past the budget the
+        // cap halves no matter what the scan counter wanted.
+        if s.garbage > self.garbage_budget {
+            self.bag_cap = (self.bag_cap / 2).max(self.min_cap);
+        }
+
+        self.last_flushes = s.flushes;
+        self.last_scans = s.scans;
+        self.last_free_ns = s.free_ns;
+        self.last_freed = s.freed;
+        self.last_backlog = s.backlog;
+        if d_freed > 0 {
+            self.last_drain_ns_per_obj = drain_ns_per_obj;
+        }
+
+        let changed = self.bag_cap != old_cap || self.per_op != old_per_op;
+        if changed {
+            self.adjustments += 1;
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(bag_cap: usize) -> SmrConfig {
+        SmrConfig::new(2)
+            .with_bag_cap(bag_cap)
+            .with_af_backlog_cap(bag_cap * 4)
+    }
+
+    /// A synthetic workload: monotone counters advanced by per-window
+    /// rates, fed to the controller like `dispose` would.
+    struct Sim {
+        ctrl: AdaptiveCtrl,
+        s: CtrlSignals,
+    }
+
+    impl Sim {
+        fn new(bag_cap: usize) -> Self {
+            Sim {
+                ctrl: AdaptiveCtrl::new(&cfg(bag_cap)),
+                s: CtrlSignals::default(),
+            }
+        }
+
+        /// One window: advance the monotone counters by the given rates
+        /// and run the controller.
+        fn window(&mut self, backlog: usize, garbage: u64, flushes: u64, scans: u64) -> bool {
+            self.s.backlog = backlog;
+            self.s.garbage = garbage;
+            self.s.flushes += flushes;
+            self.s.scans += scans;
+            // Benign drain cost: 100 ns/object, no spikes.
+            self.s.freed += 64;
+            self.s.free_ns += 6_400;
+            self.ctrl.update(self.s)
+        }
+    }
+
+    #[test]
+    fn initial_operating_point_is_the_configured_knobs() {
+        let c = AdaptiveCtrl::new(&cfg(4096));
+        assert_eq!(c.bag_cap(), 4096);
+        assert_eq!(c.per_op(), 1);
+        assert_eq!(c.relief_cap(), 4 * 4096);
+        assert_eq!(c.updates(), 0);
+    }
+
+    #[test]
+    fn steady_workload_stabilizes() {
+        let mut sim = Sim::new(1024);
+        // A steady workload: modest backlog, bounded garbage, no flushes,
+        // one scan per window.
+        for _ in 0..8 {
+            sim.window(512, 1000, 0, 1);
+        }
+        let (cap, per_op, adj) = (
+            sim.ctrl.bag_cap(),
+            sim.ctrl.per_op(),
+            sim.ctrl.adjustments(),
+        );
+        // Convergence: further identical windows change nothing.
+        for _ in 0..32 {
+            assert!(
+                !sim.window(512, 1000, 0, 1),
+                "knobs moved on a steady workload"
+            );
+        }
+        assert_eq!(sim.ctrl.bag_cap(), cap);
+        assert_eq!(sim.ctrl.per_op(), per_op);
+        assert_eq!(
+            sim.ctrl.adjustments(),
+            adj,
+            "stable == no further adjustments"
+        );
+        assert_eq!(sim.ctrl.updates(), 40, "windows keep being consumed");
+    }
+
+    #[test]
+    fn flush_pressure_shrinks_cap_then_scan_pressure_regrows_it() {
+        let mut sim = Sim::new(4096);
+        // Phase 1: allocator flushes every window — the cap must come down.
+        for _ in 0..6 {
+            sim.window(100, 1000, 2, 1);
+        }
+        let shrunk = sim.ctrl.bag_cap();
+        assert!(
+            shrunk < 4096,
+            "flush pressure must shrink the cap: {shrunk}"
+        );
+        // Phase 2 (phase shift): allocator quiet, scans frequent — the
+        // controller must re-track upward.
+        for _ in 0..20 {
+            sim.window(100, 1000, 0, 8);
+        }
+        assert!(
+            sim.ctrl.bag_cap() > shrunk,
+            "scan pressure with a quiet allocator must regrow the cap"
+        );
+        assert!(sim.ctrl.bag_cap() <= 4096 * CAP_GROWTH_LIMIT);
+    }
+
+    #[test]
+    fn cap_recovers_to_configured_point_after_pressure_clears() {
+        let mut sim = Sim::new(4096);
+        // Sustained flush pressure shrinks the cap well below the
+        // configured point.
+        for _ in 0..8 {
+            sim.window(100, 1000, 2, 1);
+        }
+        let shrunk = sim.ctrl.bag_cap();
+        assert!(shrunk < 4096, "flush pressure must shrink the cap");
+        // A long quiet stretch with exactly one scan per window — the
+        // threshold-scheme shape, where the multi-scan growth branch can
+        // never fire. The cap must climb back to, and not past, the
+        // configured operating point.
+        for _ in 0..400 {
+            sim.window(100, 1000, 0, 1);
+        }
+        assert_eq!(
+            sim.ctrl.bag_cap(),
+            4096,
+            "quiet windows must recover the configured cap exactly"
+        );
+    }
+
+    #[test]
+    fn backlog_growth_raises_drain_rate_and_decay_returns_it() {
+        let mut sim = Sim::new(256);
+        // Backlog above the relief cap and growing: rate doubles per
+        // window up to the ceiling.
+        let mut backlog = 3000;
+        for _ in 0..6 {
+            backlog += 1000;
+            sim.window(backlog, backlog as u64, 0, 1);
+        }
+        assert_eq!(sim.ctrl.per_op(), PER_OP_MAX);
+        // Backlog cleared: the rate decays back to 1.
+        for _ in 0..16 {
+            sim.window(0, 0, 0, 1);
+        }
+        assert_eq!(sim.ctrl.per_op(), 1);
+    }
+
+    #[test]
+    fn garbage_budget_overrides_growth() {
+        let mut sim = Sim::new(512);
+        // Scan pressure wants growth, but the garbage gauge is far past
+        // the budget: the cap must fall to the floor instead.
+        let budget_blown = (512 * CAP_GROWTH_LIMIT * 8) as u64;
+        for _ in 0..20 {
+            sim.window(100, budget_blown, 0, 8);
+        }
+        assert_eq!(
+            sim.ctrl.bag_cap(),
+            (512 / CAP_GROWTH_LIMIT).max(32),
+            "budget violation pins the cap at the floor"
+        );
+    }
+
+    #[test]
+    fn drain_latency_spike_shrinks_cap() {
+        let mut c = AdaptiveCtrl::new(&cfg(4096));
+        let mut s = CtrlSignals {
+            backlog: 100,
+            garbage: 100,
+            ..Default::default()
+        };
+        // Window 1: baseline drain cost of 100 ns/object.
+        s.freed = 64;
+        s.free_ns = 6_400;
+        c.update(s);
+        assert_eq!(c.bag_cap(), 4096);
+        // Window 2: cost jumps to 1 µs/object (allocator slow path).
+        s.freed += 64;
+        s.free_ns += 64_000;
+        c.update(s);
+        assert_eq!(c.bag_cap(), 2048, "latency spike must halve the cap");
+    }
+
+    #[test]
+    fn cap_respects_bounds() {
+        let mut sim = Sim::new(256);
+        for _ in 0..64 {
+            sim.window(0, 0, 4, 0); // relentless flush pressure
+        }
+        assert_eq!(sim.ctrl.bag_cap(), 32.max(256 / CAP_GROWTH_LIMIT));
+        let mut sim = Sim::new(256);
+        for _ in 0..64 {
+            sim.window(100, 100, 0, 8); // relentless scan pressure
+        }
+        assert_eq!(sim.ctrl.bag_cap(), 256 * CAP_GROWTH_LIMIT);
+    }
+
+    #[test]
+    fn tiny_caps_keep_a_sane_floor() {
+        // Schemes under test use caps as small as 4; the floor must not
+        // exceed the starting cap.
+        let c = AdaptiveCtrl::new(&cfg(4));
+        assert_eq!(c.bag_cap(), 4);
+        assert!(c.relief_cap() >= 4);
+    }
+}

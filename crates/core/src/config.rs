@@ -47,6 +47,17 @@ pub enum FreeMode {
     /// bench can quantify exactly how much of AF's benefit pooling also
     /// captures — and at what cost in allocator-invisible held memory.
     Pooled,
+    /// Online per-thread control of the batch-free knobs.
+    ///
+    /// The paper's thesis is that every *fixed* batch-free configuration is
+    /// harmful somewhere; this mode stops fixing it. Each thread runs an
+    /// [`AdaptiveCtrl`](crate::adaptive::AdaptiveCtrl) that retunes its
+    /// limbo-bag cap and amortized drain rate at scan/drain boundaries from
+    /// signals the stats layer already collects (garbage gauge, sampled
+    /// drain latency, allocator flush pressure). `cfg.bag_cap` and
+    /// `cfg.af_backlog_cap` become the controller's *initial* operating
+    /// point rather than a constant.
+    Adaptive,
 }
 
 impl FreeMode {
@@ -55,14 +66,15 @@ impl FreeMode {
         FreeMode::Amortized { per_op: 1 }
     }
 
-    /// Suffix appended to scheme names (`""`, `"_af"`, `"_bg"` or
-    /// `"_pool"`).
+    /// Suffix appended to scheme names (`""`, `"_af"`, `"_bg"`, `"_pool"`
+    /// or `"_adapt"`).
     pub fn suffix(&self) -> &'static str {
         match self {
             FreeMode::Batch => "",
             FreeMode::Amortized { .. } => "_af",
             FreeMode::Background => "_bg",
             FreeMode::Pooled => "_pool",
+            FreeMode::Adaptive => "_adapt",
         }
     }
 
@@ -114,14 +126,18 @@ impl SmrConfig {
     /// Baseline configuration for `max_threads` threads: batch freeing, no
     /// timeline recording.
     pub fn new(max_threads: usize) -> Self {
+        let bag_cap = epic_util::topology::env_usize("EPIC_BAG_CAP", 4096);
         SmrConfig {
             max_threads,
             mode: FreeMode::Batch,
-            bag_cap: epic_util::topology::env_usize("EPIC_BAG_CAP", 4096),
+            bag_cap,
             epoch_check_every: 100,
             token_check_every: 100,
             era_freq: 64,
-            af_backlog_cap: epic_util::topology::env_usize("EPIC_BAG_CAP", 4096),
+            // The relief valve has its own knob; it defaults to the
+            // (possibly overridden) bag cap. It used to silently alias
+            // EPIC_BAG_CAP, making the valve untunable on its own.
+            af_backlog_cap: epic_util::topology::env_usize("EPIC_AF_BACKLOG_CAP", bag_cap),
             hp_slots: 8,
             free_call_record_ns: u64::MAX,
             recorder: Arc::new(Recorder::disabled(max_threads)),
@@ -144,6 +160,12 @@ impl SmrConfig {
     /// Sets the limbo-bag capacity.
     pub fn with_bag_cap(mut self, cap: usize) -> Self {
         self.bag_cap = cap;
+        self
+    }
+
+    /// Sets the amortized-free backlog cap (the relief-valve threshold).
+    pub fn with_af_backlog_cap(mut self, cap: usize) -> Self {
+        self.af_backlog_cap = cap;
         self
     }
 
@@ -174,8 +196,10 @@ mod tests {
     fn mode_suffixes() {
         assert_eq!(FreeMode::Batch.suffix(), "");
         assert_eq!(FreeMode::amortized().suffix(), "_af");
+        assert_eq!(FreeMode::Adaptive.suffix(), "_adapt");
         assert!(FreeMode::amortized().is_amortized());
         assert!(!FreeMode::Batch.is_amortized());
+        assert!(!FreeMode::Adaptive.is_amortized());
     }
 
     #[test]
@@ -183,10 +207,54 @@ mod tests {
         let cfg = SmrConfig::new(4)
             .with_amortized(2)
             .with_bag_cap(128)
+            .with_af_backlog_cap(512)
             .with_free_call_recording(1000);
         assert_eq!(cfg.max_threads, 4);
         assert_eq!(cfg.mode, FreeMode::Amortized { per_op: 2 });
         assert_eq!(cfg.bag_cap, 128);
+        assert_eq!(cfg.af_backlog_cap, 512);
         assert_eq!(cfg.free_call_record_ns, 1000);
+    }
+
+    // Regression: af_backlog_cap read EPIC_BAG_CAP instead of its own
+    // EPIC_AF_BACKLOG_CAP, so the relief valve silently tracked the bag
+    // cap and could not be tuned independently. Each test uses its own
+    // env key; these two are only read here (SmrConfig::new reads the
+    // real keys, so we pin the default/fallback relationship instead of
+    // mutating the shared environment).
+
+    #[test]
+    fn af_backlog_cap_defaults_to_bag_cap() {
+        // With neither env var set, both knobs share the 4096 default.
+        if std::env::var("EPIC_BAG_CAP").is_err() && std::env::var("EPIC_AF_BACKLOG_CAP").is_err() {
+            let cfg = SmrConfig::new(2);
+            assert_eq!(cfg.af_backlog_cap, cfg.bag_cap);
+        }
+    }
+
+    #[test]
+    fn af_backlog_cap_reads_its_own_env_var() {
+        // Pin the fix itself: EPIC_AF_BACKLOG_CAP (not EPIC_BAG_CAP) feeds
+        // the relief valve. The value is deliberately *larger* than every
+        // default so a concurrently-constructed SmrConfig in another test
+        // only sees a laxer valve, never a tighter one.
+        if std::env::var("EPIC_AF_BACKLOG_CAP").is_err() {
+            std::env::set_var("EPIC_AF_BACKLOG_CAP", "123456");
+            let cfg = SmrConfig::new(2);
+            std::env::remove_var("EPIC_AF_BACKLOG_CAP");
+            assert_eq!(cfg.af_backlog_cap, 123456);
+            // bag_cap is unaffected by the AF knob.
+            assert_ne!(cfg.bag_cap, 123456);
+        }
+    }
+
+    #[test]
+    fn af_backlog_cap_is_independent_of_bag_cap_builder() {
+        // Tuning one knob must not move the other.
+        let cfg = SmrConfig::new(2).with_bag_cap(64).with_af_backlog_cap(4096);
+        assert_eq!(cfg.bag_cap, 64);
+        assert_eq!(cfg.af_backlog_cap, 4096);
+        let cfg = SmrConfig::new(2).with_af_backlog_cap(7).with_bag_cap(9999);
+        assert_eq!(cfg.af_backlog_cap, 7);
     }
 }

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod adaptive;
 pub mod common;
 pub mod config;
 pub mod freebuf;
@@ -65,6 +66,7 @@ pub mod schemes;
 pub mod smr_stats;
 pub mod sync;
 
+pub use adaptive::{AdaptiveCtrl, CtrlSignals};
 pub use common::SchemeCommon;
 pub use config::{FreeMode, SmrConfig};
 pub use freebuf::FreeBuffer;

@@ -2,7 +2,7 @@
 //! checker must catch.
 //!
 //! The checker (`crates/check`) proves its teeth by killing these: each
-//! mask bit, when set in the model's context ([`epic_check::ctx`]),
+//! mask bit, when set in the model's context (`epic_check::ctx`),
 //! flips one known-load-bearing line of the reclamation protocols into
 //! a subtly wrong variant. The model tests in
 //! `crates/core/tests/model_check.rs` assert that exploration *fails*

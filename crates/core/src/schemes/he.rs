@@ -152,7 +152,7 @@ impl RawSmr for HeSmr {
             let new = self.era.fetch_add(1, Ordering::SeqCst) + 1;
             self.common.record_epoch_advance(tid, new);
         }
-        if state.bag.len() >= self.common.cfg.bag_cap {
+        if state.bag.len() >= self.common.bag_cap(tid) {
             self.scan_and_reclaim(tid, state);
         }
     }

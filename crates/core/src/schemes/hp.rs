@@ -132,8 +132,7 @@ impl RawSmr for HpSmr {
         unsafe { state.bag.push_retire(ptr, 0) };
         let threshold = self
             .common
-            .cfg
-            .bag_cap
+            .bag_cap(tid)
             .max(2 * self.k * self.common.n_threads());
         if state.bag.len() >= threshold {
             self.scan_and_reclaim(tid, state);

@@ -44,6 +44,11 @@ pub struct ThreadSmrCounters {
     pub garbage: Cell<u64>,
     /// Published copy of `garbage` (relaxed; owner-only writer).
     pub garbage_pub: AtomicU64,
+    /// Times the garbage gauge would have gone negative and was clamped to
+    /// zero. A nonzero value means retire/free accounting double-counted
+    /// somewhere (e.g. a double free) — the stress and model suites assert
+    /// it stays 0.
+    pub garbage_clamps: Cell<u64>,
     /// Rolling tick for [`DRAIN_SAMPLE_PERIOD`] drain-timing sampling.
     sample_tick_drain: Cell<u64>,
 }
@@ -72,10 +77,17 @@ impl ThreadSmrCounters {
         self.add_garbage(-(n as i64));
     }
 
-    /// Adjusts the garbage gauge and publishes it.
+    /// Adjusts the garbage gauge and publishes it. A negative result is
+    /// clamped to zero, but no longer silently: the clamp is counted into
+    /// [`garbage_clamps`](Self::garbage_clamps) so accounting bugs
+    /// (double frees, double counting) surface in the stress/model suites
+    /// instead of hiding behind the clamp.
     #[inline]
     pub fn add_garbage(&self, delta: i64) {
         let g = self.garbage.get() as i64 + delta;
+        if g < 0 {
+            Self::bump(&self.garbage_clamps, 1);
+        }
         let g = g.max(0) as u64;
         self.garbage.set(g);
         self.garbage_pub.store(g, Ordering::Relaxed);
@@ -146,6 +158,7 @@ impl ThreadSmrCounters {
         self.scans.set(0);
         self.pool_hits.set(0);
         self.retire_path_allocs.set(0);
+        self.garbage_clamps.set(0);
     }
 }
 
@@ -175,6 +188,9 @@ pub struct SmrSnapshot {
     /// Heap allocations charged to the retire pipeline itself (0 in the
     /// steady state of the zero-allocation design).
     pub retire_path_allocs: u64,
+    /// Garbage-gauge negative clamps (see
+    /// [`ThreadSmrCounters::garbage_clamps`]); 0 when accounting balances.
+    pub garbage_clamps: u64,
     /// Median individual `free`-call latency (ns, bucket resolution; 0 when
     /// per-call recording was off). Fig. 3 / Appendix F material.
     pub free_p50_ns: u64,
@@ -291,6 +307,7 @@ impl SmrStats {
             s.scans += c.scans.get();
             s.pool_hits += c.pool_hits.get();
             s.retire_path_allocs += c.retire_path_allocs.get();
+            s.garbage_clamps += c.garbage_clamps.get();
             s.garbage += c.garbage_pub.load(Ordering::Relaxed);
         }
         let hist = self.free_hist();
@@ -335,10 +352,19 @@ mod tests {
     }
 
     #[test]
-    fn garbage_never_negative() {
+    fn garbage_never_negative_and_clamp_is_counted() {
         let s = SmrStats::new(1);
         s.get(0).on_free(100);
         assert_eq!(s.total_garbage(), 0);
+        // The clamp itself is no longer silent.
+        assert_eq!(s.snapshot().garbage_clamps, 1);
+        // Balanced accounting does not clamp.
+        s.get(0).on_retire(5);
+        s.get(0).on_free(5);
+        assert_eq!(s.snapshot().garbage_clamps, 1);
+        // reset() clears the clamp counter with the other monotone counters.
+        s.reset();
+        assert_eq!(s.snapshot().garbage_clamps, 0);
     }
 
     #[test]

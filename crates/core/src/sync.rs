@@ -3,7 +3,7 @@
 //!
 //! Normal builds re-export `std::sync::atomic` — zero cost, identical
 //! codegen. Under `RUSTFLAGS="--cfg epic_model_check"` the same names
-//! come from [`epic_check::atomic`]: instrumented shims that yield to
+//! come from `epic_check::atomic`: instrumented shims that yield to
 //! epic-check's controlled scheduler at every access and model TSO
 //! store buffers, so the scheme protocols (hazard publication, era
 //! bumps, limbo-bag splicing, QSBR announcements) can be exhaustively

@@ -166,6 +166,12 @@ fn stress(kind: SmrKind, mode: FreeMode, threads: usize, ops_per_thread: usize) 
         "{kind:?} {mode:?}: lost retirement (retired != freed at quiescence)"
     );
     assert_eq!(s.garbage, 0, "{kind:?} {mode:?}: garbage gauge unbalanced");
+    // Balanced accounting never drives the gauge negative; a clamp here
+    // means a double free or double count slipped through.
+    debug_assert_eq!(
+        s.garbage_clamps, 0,
+        "{kind:?} {mode:?}: garbage gauge clamped (double-count bug)"
+    );
 
     // The ledger has the ground truth: every lifetime freed exactly once.
     accounting.assert_balanced();
@@ -184,7 +190,7 @@ fn stress(kind: SmrKind, mode: FreeMode, threads: usize, ops_per_thread: usize) 
 #[test]
 fn epoch_family_never_double_frees_or_loses_blocks() {
     for kind in [SmrKind::Debra, SmrKind::Qsbr, SmrKind::Rcu] {
-        for mode in [FreeMode::Batch, FreeMode::amortized()] {
+        for mode in [FreeMode::Batch, FreeMode::amortized(), FreeMode::Adaptive] {
             stress(kind, mode, 4, 2_000);
         }
     }
@@ -192,7 +198,12 @@ fn epoch_family_never_double_frees_or_loses_blocks() {
 
 #[test]
 fn token_ring_never_double_frees_or_loses_blocks() {
-    for mode in [FreeMode::Batch, FreeMode::amortized(), FreeMode::Pooled] {
+    for mode in [
+        FreeMode::Batch,
+        FreeMode::amortized(),
+        FreeMode::Pooled,
+        FreeMode::Adaptive,
+    ] {
         stress(SmrKind::TokenPeriodic, mode, 4, 2_000);
     }
 }
@@ -209,5 +220,6 @@ fn scan_family_never_double_frees_or_loses_blocks() {
     ] {
         stress(kind, FreeMode::Batch, 4, 1_500);
         stress(kind, FreeMode::amortized(), 4, 1_500);
+        stress(kind, FreeMode::Adaptive, 4, 1_500);
     }
 }

@@ -30,6 +30,11 @@ pub struct WorkloadCfg {
     pub prefill: bool,
     /// Limbo-bag capacity for threshold schemes.
     pub bag_cap: usize,
+    /// Amortized-free backlog cap (the relief valve; see
+    /// `epic_smr::SmrConfig::af_backlog_cap`). Defaults to `4 * bag_cap`
+    /// so the valve only opens on genuine bursts, overridable with
+    /// `EPIC_AF_BACKLOG_CAP`.
+    pub af_backlog_cap: usize,
     /// DEBRA's k (announcement-scan amortization).
     pub epoch_check_every: usize,
     /// Periodic Token-EBR's check interval.
@@ -62,6 +67,7 @@ impl WorkloadCfg {
     /// The standard configuration for a scheme/tree pair at a thread
     /// count, with environment-driven scale.
     pub fn new(tree: TreeKind, smr_kind: SmrKind, threads: usize) -> Self {
+        let bag_cap = env_usize("EPIC_BAG_CAP", 4096);
         WorkloadCfg {
             tree,
             smr_kind,
@@ -72,7 +78,8 @@ impl WorkloadCfg {
             millis: env_u64("EPIC_MILLIS", 200),
             key_range: env_u64("EPIC_KEYRANGE", 16_384),
             prefill: true,
-            bag_cap: env_usize("EPIC_BAG_CAP", 4096),
+            bag_cap,
+            af_backlog_cap: env_usize("EPIC_AF_BACKLOG_CAP", bag_cap * 4),
             epoch_check_every: 100,
             token_check_every: 100,
             record_timeline: false,
@@ -109,9 +116,23 @@ impl WorkloadCfg {
         self
     }
 
+    /// Switches to the adaptive batch-free controller (the `_adapt`
+    /// variant: `bag_cap` becomes the controller's initial operating
+    /// point).
+    pub fn adaptive(mut self) -> Self {
+        self.free_mode = FreeMode::Adaptive;
+        self
+    }
+
     /// Explicit free mode.
     pub fn with_mode(mut self, mode: FreeMode) -> Self {
         self.free_mode = mode;
+        self
+    }
+
+    /// Overrides the amortized-free backlog cap (relief valve).
+    pub fn with_af_backlog_cap(mut self, cap: usize) -> Self {
+        self.af_backlog_cap = cap;
         self
     }
 
@@ -187,6 +208,19 @@ mod tests {
         let dgt = WorkloadCfg::new(TreeKind::Dgt, SmrKind::Debra, 2).amortized();
         assert_eq!(dgt.free_mode, FreeMode::Amortized { per_op: 1 });
         assert_eq!(dgt.scheme_label(), "debra_af");
+    }
+
+    #[test]
+    fn adaptive_label_and_backlog_knob() {
+        let cfg = WorkloadCfg::new(TreeKind::Ab, SmrKind::TokenPeriodic, 2).adaptive();
+        assert_eq!(cfg.free_mode, FreeMode::Adaptive);
+        assert_eq!(cfg.scheme_label(), "token_adapt");
+        // The relief valve has its own knob, independent of bag_cap.
+        if std::env::var("EPIC_AF_BACKLOG_CAP").is_err() {
+            assert_eq!(cfg.af_backlog_cap, cfg.bag_cap * 4);
+        }
+        let cfg = cfg.with_af_backlog_cap(99);
+        assert_eq!(cfg.af_backlog_cap, 99);
     }
 
     #[test]

@@ -79,11 +79,11 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
         .with_free_call_recording(cfg.free_call_record_ns);
     smr_cfg.epoch_check_every = cfg.epoch_check_every;
     smr_cfg.token_check_every = cfg.token_check_every;
-    // Backlog cap: a few bags' worth — loose enough that the relief
-    // valve rarely outruns the allocation-coupled drain (which would cause
-    // tcache overflow), tight enough to bound garbage (Fig. 4's "slightly
-    // larger amount of garbage on average").
-    smr_cfg.af_backlog_cap = cfg.bag_cap * 4;
+    // Backlog cap (defaults to a few bags' worth, see WorkloadCfg) — loose
+    // enough that the relief valve rarely outruns the allocation-coupled
+    // drain (which would cause tcache overflow), tight enough to bound
+    // garbage (Fig. 4's "slightly larger amount of garbage on average").
+    smr_cfg.af_backlog_cap = cfg.af_backlog_cap;
     if let Some(g) = &garbage {
         smr_cfg = smr_cfg.with_garbage_series(Arc::clone(g));
     }

@@ -6,7 +6,30 @@
 //! machine the reproduction runs on, and honours environment overrides so the
 //! benches scale up on larger hardware.
 
+use std::collections::BTreeSet;
 use std::env;
+use std::sync::{Mutex, OnceLock};
+
+/// Keys we have already warned about — malformed env values warn once per
+/// key per process, not once per read (experiments re-read config many
+/// times per trial).
+fn warned_keys() -> &'static Mutex<BTreeSet<String>> {
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Emits a one-time stderr warning that `key`'s value `raw` could not be
+/// parsed as `expected`. Returns `true` if this call actually warned
+/// (first malformed read of `key`), `false` if the key was already
+/// reported — exposed so tests can pin the once-per-key contract.
+pub fn warn_malformed_env(key: &str, raw: &str, expected: &str) -> bool {
+    let mut seen = warned_keys().lock().unwrap_or_else(|e| e.into_inner());
+    if !seen.insert(key.to_string()) {
+        return false;
+    }
+    eprintln!("epic: warning: ignoring malformed {key}={raw:?} (expected {expected})");
+    true
+}
 
 /// Discovered machine topology plus experiment scaling rules.
 #[derive(Debug, Clone)]
@@ -71,11 +94,21 @@ impl Topology {
 
 fn env_usize_list(key: &str) -> Option<Vec<usize>> {
     let raw = env::var(key).ok()?;
+    let mut dropped = false;
     let parsed: Vec<usize> = raw
         .split(',')
         .filter(|s| !s.trim().is_empty())
-        .filter_map(|s| s.trim().parse().ok())
+        .filter_map(|s| match s.trim().parse().ok() {
+            Some(n) => Some(n),
+            None => {
+                dropped = true;
+                None
+            }
+        })
         .collect();
+    if dropped {
+        warn_malformed_env(key, &raw, "comma-separated list of usize");
+    }
     if parsed.is_empty() {
         None
     } else {
@@ -84,19 +117,31 @@ fn env_usize_list(key: &str) -> Option<Vec<usize>> {
 }
 
 /// Reads a `usize` experiment parameter from the environment with a default.
+///
+/// Malformed values (`EPIC_BAG_CAP=32k`) fall back to the default and warn
+/// once per key to stderr — a silent fallback once cost a whole sweep run
+/// with the intended cap ignored.
 pub fn env_usize(key: &str, default: usize) -> usize {
-    env::var(key)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(default)
+    match env::var(key) {
+        Ok(raw) => raw.trim().parse().unwrap_or_else(|_| {
+            warn_malformed_env(key, &raw, "usize");
+            default
+        }),
+        Err(_) => default,
+    }
 }
 
 /// Reads a `u64` experiment parameter from the environment with a default.
+///
+/// Same malformed-value contract as [`env_usize`]: fall back, warn once.
 pub fn env_u64(key: &str, default: u64) -> u64 {
-    env::var(key)
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(default)
+    match env::var(key) {
+        Ok(raw) => raw.trim().parse().unwrap_or_else(|_| {
+            warn_malformed_env(key, &raw, "u64");
+            default
+        }),
+        Err(_) => default,
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +183,53 @@ mod tests {
     #[test]
     fn env_usize_default_applies() {
         assert_eq!(env_usize("EPIC_DOES_NOT_EXIST_XYZ", 17), 17);
+    }
+
+    // The env tests below each use a key unique to that test: tests run in
+    // parallel and the process environment (plus the warn-once registry)
+    // is shared.
+
+    #[test]
+    fn env_usize_malformed_falls_back_and_warns_once() {
+        let key = "EPIC_TEST_MALFORMED_USIZE";
+        env::set_var(key, "32k");
+        assert_eq!(env_usize(key, 4096), 4096);
+        // First malformed read warned; the registry now remembers the key.
+        assert!(!warn_malformed_env(key, "32k", "usize"));
+        // Repeated reads keep the fallback semantics.
+        assert_eq!(env_usize(key, 9), 9);
+        env::remove_var(key);
+    }
+
+    #[test]
+    fn env_u64_malformed_falls_back() {
+        let key = "EPIC_TEST_MALFORMED_U64";
+        env::set_var(key, "12.5");
+        assert_eq!(env_u64(key, 200), 200);
+        env::remove_var(key);
+        // Well-formed values still parse (with surrounding whitespace).
+        env::set_var(key, " 77 ");
+        assert_eq!(env_u64(key, 200), 77);
+        env::remove_var(key);
+    }
+
+    #[test]
+    fn env_usize_list_drops_unparsable_entries() {
+        let key = "EPIC_TEST_MALFORMED_LIST";
+        env::set_var(key, "1,two,4");
+        assert_eq!(env_usize_list(key), Some(vec![1, 4]));
+        env::remove_var(key);
+        // All-malformed lists behave like an unset variable.
+        env::set_var(key, "x,y");
+        assert_eq!(env_usize_list(key), None);
+        env::remove_var(key);
+    }
+
+    #[test]
+    fn warn_malformed_env_warns_once_per_key() {
+        let key = "EPIC_TEST_WARN_ONCE";
+        assert!(warn_malformed_env(key, "bogus", "usize"));
+        assert!(!warn_malformed_env(key, "bogus", "usize"));
+        assert!(!warn_malformed_env(key, "other", "u64"));
     }
 }
