@@ -389,26 +389,36 @@ mod tests {
         smr.begin_op(1);
         assert!(!smr.poll_restart(1), "no request yet");
         // Thread 0 fills two bag generations in a separate OS thread (the
-        // handshake needs thread 1 to poll, which we do from here).
-        let smr2 = Arc::clone(&smr);
-        let alloc2 = Arc::clone(&alloc);
-        let reclaimer = std::thread::spawn(move || {
-            smr2.begin_op(0);
-            for _ in 0..9 {
-                let p = alloc2.alloc(0, 64);
-                smr2.retire(0, p);
-            }
-            smr2.end_op(0);
-        });
-        // Poll until neutralized (bounded).
+        // handshake needs thread 1 to poll, which we do from here). A
+        // single pass can legitimately free nothing: the reclaimer's
+        // HANDSHAKE_TIMEOUT_NS liveness guard gives up if this thread is
+        // not scheduled in time (seen on loaded single-CPU boxes), keeping
+        // the bag for the next threshold — so retry the fill cycle until a
+        // handshake lands.
         let mut restarted = false;
-        for _ in 0..10_000_000 {
-            if smr.poll_restart(1) {
-                restarted = true;
+        for _ in 0..50 {
+            let smr2 = Arc::clone(&smr);
+            let alloc2 = Arc::clone(&alloc);
+            let reclaimer = std::thread::spawn(move || {
+                smr2.begin_op(0);
+                for _ in 0..9 {
+                    let p = alloc2.alloc(0, 64);
+                    smr2.retire(0, p);
+                }
+                smr2.end_op(0);
+            });
+            // Poll (and thereby ack) until the reclaimer finishes.
+            while !reclaimer.is_finished() {
+                if smr.poll_restart(1) {
+                    restarted = true;
+                }
+                std::hint::spin_loop();
+            }
+            reclaimer.join().unwrap();
+            if smr.stats().freed > 0 {
                 break;
             }
         }
-        reclaimer.join().unwrap();
         assert!(restarted, "read-phase thread must be neutralized");
         assert!(smr.stats().restarts >= 1);
         assert!(

@@ -10,6 +10,7 @@
 //! epic-run check table3_allocators fig11b_experiment2
 //! epic-run check all -j 4            # process-isolated, 4 worker slots
 //! epic-run check all --shard 2/3 -j 4
+//! epic-run check all -j 4 --events results/events.ndjson  # NDJSON progress
 //! epic-run merge-shapes a.json b.json c.json   # fan shards back in
 //! epic-run bench-diff results/BENCH_handle_baseline.json \
 //!          results/BENCH_handle.json --max-regress 15%
@@ -83,6 +84,7 @@ struct CheckOpts {
     jobs: usize,
     shard: Option<(usize, usize)>,
     timeout: Duration,
+    events: Option<std::path::PathBuf>,
 }
 
 fn parse_check_opts(rest: &[&str]) -> Result<CheckOpts, String> {
@@ -92,6 +94,7 @@ fn parse_check_opts(rest: &[&str]) -> Result<CheckOpts, String> {
         jobs: 1,
         shard: None,
         timeout: Duration::from_secs(default_timeout),
+        events: None,
     };
     let mut it = rest.iter();
     while let Some(&arg) = it.next() {
@@ -110,6 +113,7 @@ fn parse_check_opts(rest: &[&str]) -> Result<CheckOpts, String> {
                     .ok_or_else(|| format!("bad {arg} '{v}' (expected a count >= 1)"))?;
             }
             "--shard" => opts.shard = Some(parse_shard(value_of(arg)?)?),
+            "--events" => opts.events = Some(std::path::PathBuf::from(value_of(arg)?)),
             "--timeout-secs" => {
                 let v = value_of(arg)?;
                 opts.timeout = Duration::from_secs(
@@ -207,9 +211,21 @@ fn run_check(rest: &[&str]) -> i32 {
         None => "1/1".to_string(),
     };
     let doc = if opts.jobs <= 1 {
-        check_serial(&selected, &shard_label)
+        match check_serial(&selected, &shard_label, opts.events.as_deref()) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
     } else {
-        match runner::run_parallel(&selected, opts.jobs, opts.timeout, &shard_label) {
+        match runner::run_parallel(
+            &selected,
+            opts.jobs,
+            opts.timeout,
+            &shard_label,
+            opts.events.as_deref(),
+        ) {
             Ok(doc) => doc,
             Err(e) => {
                 eprintln!("{e}");
@@ -221,13 +237,58 @@ fn run_check(rest: &[&str]) -> i32 {
 }
 
 /// The serial in-process path: identical to the pre-engine behavior
-/// (live per-assertion traces), plus per-experiment timing.
-fn check_serial(selected: &[Experiment], shard_label: &str) -> ShapesDoc {
+/// (live per-assertion traces), plus per-experiment timing. When
+/// `events_path` is set, the same `epic-events-v1` NDJSON stream the
+/// parallel engine produces is emitted (attempt is always 1 — the
+/// serial path never retries).
+fn check_serial(
+    selected: &[Experiment],
+    shard_label: &str,
+    events_path: Option<&std::path::Path>,
+) -> Result<ShapesDoc, String> {
+    use epic_harness::runner::pool::{unix_ms, EventKind, PoolEvent};
+    use std::io::Write as _;
+    let mut events_sink = match events_path {
+        Some(p) => Some(std::io::BufWriter::new(std::fs::File::create(p).map_err(
+            |e| format!("check: could not create events file {}: {e}", p.display()),
+        )?)),
+        None => None,
+    };
+    let mut emit = |ev: PoolEvent| {
+        if let Some(w) = events_sink.as_mut() {
+            let _ = writeln!(w, "{}", ev.to_json());
+            let _ = w.flush();
+        }
+    };
+    for e in selected {
+        emit(PoolEvent {
+            kind: EventKind::Queued,
+            experiment: e.id.to_string(),
+            tag: 0,
+            attempt: 1,
+            ts_ms: unix_ms(),
+            duration_ms: None,
+            outcome: None,
+            verdict: None,
+            will_retry: None,
+        });
+    }
     let mut records = Vec::new();
     for e in selected {
         println!("\n##### check {} #####", e.id);
         let oracle = oracle_for(e.id)
             .unwrap_or_else(|| panic!("experiment '{}' has no registered oracle", e.id));
+        emit(PoolEvent {
+            kind: EventKind::Started,
+            experiment: e.id.to_string(),
+            tag: 0,
+            attempt: 1,
+            ts_ms: unix_ms(),
+            duration_ms: None,
+            outcome: None,
+            verdict: None,
+            will_retry: None,
+        });
         let started = Instant::now();
         let result = (e.run)();
         let duration_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -236,15 +297,26 @@ fn check_serial(selected: &[Experiment], shard_label: &str) -> ShapesDoc {
             let mark = if o.passed { "ok  " } else { "MISS" };
             println!("  [{mark}] ({}) {} — {}", o.tier.name(), o.label, o.detail);
         }
+        emit(PoolEvent {
+            kind: EventKind::Finished,
+            experiment: e.id.to_string(),
+            tag: 0,
+            attempt: 1,
+            ts_ms: unix_ms(),
+            duration_ms: Some(duration_ms),
+            outcome: Some("completed".to_string()),
+            verdict: Some(report.verdict().to_string()),
+            will_retry: None,
+        });
         records.push(ShapeRecord::from_run(report, &result, duration_ms, 1));
     }
-    ShapesDoc {
+    Ok(ShapesDoc {
         records,
         runner: RunnerMeta {
             shard: shard_label.to_string(),
             jobs: 1,
         },
-    }
+    })
 }
 
 /// Shared tail of `check` and `merge-shapes`: verdict table, SHAPES.json,

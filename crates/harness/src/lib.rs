@@ -22,6 +22,8 @@
 //! | `EPIC_BAG_CAP` | limbo-bag capacity (paper: 32768) | 4096 |
 //! | `EPIC_RESULTS` | artifact output directory | `results/` |
 //! | `EPIC_JOB_TIMEOUT_SECS` | per-child timeout for `epic-run check -j N` | 600 |
+//! | `EPIC_JOB_LOG_KEEP` | run directories kept under `results/jobs/` | 10 |
+//! | `EPIC_QUEUE_COMPACT_LINES` | `epic-serve` queue-journal compaction threshold | 4096 |
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]

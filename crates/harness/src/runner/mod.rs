@@ -6,7 +6,8 @@
 //! threads, the counting global allocator, and the `EPIC_*` environment.
 //! So the engine schedules registry entries as *child processes* — the
 //! binary re-invokes itself as `epic-run --one <id> --result-json <p>` —
-//! with:
+//! through the [`pool`] module, which owns the mechanics shared with the
+//! `epic-serve` daemon:
 //!
 //! * `jobs` concurrent worker slots, filled longest-processing-time
 //!   first using the registry's [`Experiment::cost`] hints, so the
@@ -15,8 +16,12 @@
 //! * a per-job timeout and one retry after a crash (panic, signal,
 //!   timeout) — a completed run that merely *fails its oracle* is a
 //!   result, not a crash, and is never retried;
-//! * live one-line progress, with child stdout/stderr captured to
-//!   `<results>/jobs/<id>.log`;
+//! * live one-line progress, with child stdout/stderr captured under a
+//!   per-run directory `<results>/jobs/run-<ts>-<pid>-<seq>/` (old run
+//!   directories are swept, keeping the last `EPIC_JOB_LOG_KEEP`);
+//! * an optional NDJSON progress stream (`--events <path>`) of
+//!   [`pool::PoolEvent`] records — the same facts the daemon's `/jobs`
+//!   view reports, because both come from the pool;
 //! * a deterministic merge: per-job documents combine in registry order
 //!   no matter the completion order.
 //!
@@ -25,15 +30,18 @@
 //! each run one shard and `epic-run merge-shapes` fans the results back
 //! into one verdict table.
 
+pub mod pool;
+
 use crate::experiments::{all_experiments, Experiment};
 use crate::oracle::{oracle_for, AssertionOutcome, OracleReport, Tier};
 use crate::report::results_dir;
 use crate::shapes::{RunnerMeta, ShapeRecord, ShapesDoc};
+use pool::{AttemptOutcome, JobSpec, Pool, PoolCfg};
 use std::collections::HashSet;
-use std::fs::File;
-use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
-use std::time::{Duration, Instant};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// FNV-1a over the id bytes: the stable hash the shard partitioner
 /// orders by. Not a quality hash — a *frozen* one: the shard an id lands
@@ -91,27 +99,72 @@ pub fn shard_members(k: usize, n: usize) -> HashSet<&'static str> {
     partition(n).swap_remove(k - 1).into_iter().collect()
 }
 
-/// Where per-job artifacts (result JSON + captured log) go.
-fn jobs_dir() -> PathBuf {
-    let dir = results_dir().join("jobs");
-    let _ = std::fs::create_dir_all(&dir);
-    dir
+/// Distinguishes run dirs created within one millisecond by one process
+/// (tests spin pools up quickly).
+static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Creates a fresh per-run artifact directory
+/// `<results>/jobs/run-<unix-ms>-<pid>-<seq>/` and sweeps old run
+/// directories, keeping the newest [`job_log_keep`] (the new one
+/// included). Both `epic-run check -j N` and the `epic-serve` daemon
+/// allocate their child logs here, so `results/jobs/` stays bounded
+/// across runs instead of accreting logs forever.
+pub fn new_run_dir() -> std::io::Result<PathBuf> {
+    let root = results_dir().join("jobs");
+    std::fs::create_dir_all(&root)?;
+    let seq = RUN_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = root.join(format!(
+        "run-{:013}-{}-{seq}",
+        pool::unix_ms(),
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir)?;
+    sweep_run_dirs(&root, job_log_keep());
+    Ok(dir)
 }
 
-struct RunningJob {
-    entry: Experiment,
-    attempt: u32,
-    child: Child,
-    started: Instant,
-    json_path: PathBuf,
-    log_path: PathBuf,
+/// How many run directories to keep under `<results>/jobs/`
+/// (`EPIC_JOB_LOG_KEEP`, default 10, minimum 1).
+pub fn job_log_keep() -> usize {
+    epic_util::topology::env_usize("EPIC_JOB_LOG_KEEP", 10).max(1)
+}
+
+/// Removes the oldest `run-*` directories under `root` beyond `keep`.
+/// Age is the directory name itself — run dirs embed a zero-padded unix
+/// millisecond timestamp, so the lexicographic order is the creation
+/// order. Non-`run-*` entries (including the flat `<id>.log` files of
+/// pre-PR-8 layouts) are left alone.
+pub fn sweep_run_dirs(root: &Path, keep: usize) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    let mut runs: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("run-"))
+        })
+        .collect();
+    runs.sort();
+    let n = runs.len();
+    for old in runs.into_iter().take(n.saturating_sub(keep)) {
+        if let Err(e) = std::fs::remove_dir_all(&old) {
+            eprintln!(
+                "warning: could not sweep old run dir {}: {e}",
+                old.display()
+            );
+        }
+    }
 }
 
 /// The record the engine synthesizes when an experiment process crashed
 /// (or timed out) on both attempts: a single failed strict assertion, so
 /// the merged verdict table reports `FAIL` instead of silently dropping
 /// the experiment.
-fn crash_record(id: &str, attempts: u32, reason: &str, log_path: &std::path::Path) -> ShapeRecord {
+fn crash_record(id: &str, attempts: u32, reason: &str, log_path: &Path) -> ShapeRecord {
     let claim = oracle_for(id)
         .map(|o| o.claim.to_string())
         .unwrap_or_default();
@@ -132,170 +185,103 @@ fn crash_record(id: &str, attempts: u32, reason: &str, log_path: &std::path::Pat
     }
 }
 
-fn spawn_job(entry: Experiment, attempt: u32) -> std::io::Result<RunningJob> {
-    let dir = jobs_dir();
-    let json_path = dir.join(format!("{}.json", entry.id));
-    let log_path = dir.join(format!("{}.log", entry.id));
-    let _ = std::fs::remove_file(&json_path); // stale results must not count
-    let log = File::create(&log_path)?;
-    let child = Command::new(std::env::current_exe()?)
-        .arg("--one")
-        .arg(entry.id)
-        .arg("--result-json")
-        .arg(&json_path)
-        .stdin(Stdio::null())
-        .stdout(Stdio::from(log.try_clone()?))
-        .stderr(Stdio::from(log))
-        .spawn()?;
-    Ok(RunningJob {
-        entry,
-        attempt,
-        child,
-        started: Instant::now(),
-        json_path,
-        log_path,
-    })
-}
-
-/// How a finished child is classified.
-enum JobOutcome {
-    /// The child ran to completion and wrote a parseable result document
-    /// (its oracle verdict may still be FAIL — that is a *result*).
-    Completed(ShapeRecord),
-    /// Panic, signal, unparseable/missing result, or timeout.
-    Crashed(String),
-}
-
-/// `killed` means the *parent* killed the child at the timeout — a
-/// child that beat the deadline on its own is classified purely by its
-/// result file, however close to the limit it finished.
-fn classify(job: &RunningJob, killed: bool, exit: Option<i32>) -> JobOutcome {
-    if killed {
-        return JobOutcome::Crashed(format!(
-            "timed out after {:.0}s and was killed",
-            job.started.elapsed().as_secs_f64()
-        ));
-    }
-    match std::fs::read_to_string(&job.json_path)
-        .map_err(|e| e.to_string())
-        .and_then(|text| ShapesDoc::parse(&text))
-    {
-        Ok(doc) if doc.records.len() == 1 => {
-            let mut rec = doc.records.into_iter().next().unwrap();
-            rec.attempts = job.attempt;
-            JobOutcome::Completed(rec)
-        }
-        Ok(doc) => JobOutcome::Crashed(format!(
-            "child wrote {} records instead of 1",
-            doc.records.len()
-        )),
-        Err(e) => match exit {
-            Some(code) => JobOutcome::Crashed(format!("exit code {code}, no usable result: {e}")),
-            None => JobOutcome::Crashed(format!("killed by signal, no usable result: {e}")),
-        },
-    }
-}
-
 /// Runs `selected` as child processes on `jobs` worker slots and merges
 /// the per-job documents into one [`ShapesDoc`] (records in registry
-/// order). `shard_label` is recorded as runner provenance. Only spawn
-/// infrastructure errors are `Err` — experiment failures and crashes are
-/// *records* in the returned document.
+/// order). `shard_label` is recorded as runner provenance;
+/// `events_path`, when set, receives the NDJSON progress stream. Only
+/// run-dir/event-sink setup errors are `Err` — experiment failures and
+/// crashes (including spawn failures) are *records* in the returned
+/// document.
 pub fn run_parallel(
     selected: &[Experiment],
     jobs: usize,
     timeout: Duration,
     shard_label: &str,
+    events_path: Option<&Path>,
 ) -> Result<ShapesDoc, String> {
     let jobs = jobs.max(1);
     let total = selected.len();
-    // LPT: heaviest first. `pop()` takes from the back, so sort ascending.
-    let mut queue: Vec<(Experiment, u32)> = {
-        let mut entries = selected.to_vec();
-        entries.sort_by(|a, b| a.cost.cmp(&b.cost).then(a.id.cmp(b.id)));
-        entries.into_iter().map(|e| (e, 1)).collect()
+    let run_dir = new_run_dir().map_err(|e| format!("runner: could not create run dir: {e}"))?;
+    let mut events_sink = match events_path {
+        Some(p) => Some(std::io::BufWriter::new(std::fs::File::create(p).map_err(
+            |e| format!("runner: could not create events file {}: {e}", p.display()),
+        )?)),
+        None => None,
     };
-    let mut running: Vec<RunningJob> = Vec::new();
-    let mut records: Vec<ShapeRecord> = Vec::new();
+    let program = std::env::current_exe()
+        .map_err(|e| format!("runner: could not resolve own binary: {e}"))?;
+    let mut pool = Pool::new(PoolCfg {
+        slots: jobs,
+        timeout,
+        dir: run_dir.clone(),
+        program,
+    });
     println!(
         "runner: {total} experiments on {jobs} worker slots (shard {shard_label}, timeout {}s, \
          logs under {})",
         timeout.as_secs(),
-        jobs_dir().display()
+        run_dir.display()
     );
-    while !queue.is_empty() || !running.is_empty() {
-        while running.len() < jobs {
-            let Some((entry, attempt)) = queue.pop() else {
-                break;
-            };
-            let job = spawn_job(entry, attempt)
-                .map_err(|e| format!("runner: could not spawn child for '{}': {e}", entry.id))?;
-            println!(
-                "[start] {} (cost {}, attempt {attempt})",
-                entry.id, entry.cost
-            );
-            running.push(job);
+    for e in selected {
+        pool.submit(JobSpec::for_experiment(e));
+    }
+    let mut records: Vec<ShapeRecord> = Vec::new();
+    loop {
+        let ended = pool.tick();
+        // Starts print from the event stream (the pool's own facts), and
+        // every event goes to the NDJSON sink.
+        for ev in pool.take_events() {
+            if ev.kind == pool::EventKind::Started {
+                println!("[start] {} (attempt {})", ev.experiment, ev.attempt);
+            }
+            if let Some(w) = events_sink.as_mut() {
+                let _ = writeln!(w, "{}", ev.to_json());
+            }
         }
-        let mut i = 0;
-        while i < running.len() {
-            let timed_out = running[i].started.elapsed() > timeout;
-            // (exit, killed-by-us): a child that exited on its own is
-            // never treated as timed out, even if observed past the
-            // deadline — its result file decides.
-            let exited = match running[i].child.try_wait() {
-                Ok(Some(status)) => Some((status.code(), false)),
-                Ok(None) if timed_out => {
-                    let _ = running[i].child.kill();
-                    let _ = running[i].child.wait();
-                    Some((None, true))
-                }
-                Ok(None) => None,
-                Err(_) => Some((None, false)),
-            };
-            let Some((exit, killed)) = exited else {
-                i += 1;
-                continue;
-            };
-            let job = running.swap_remove(i);
-            let secs = job.started.elapsed().as_secs_f64();
-            match classify(&job, killed, exit) {
-                JobOutcome::Completed(rec) => {
+        if let Some(w) = events_sink.as_mut() {
+            let _ = w.flush();
+        }
+        for end in ended {
+            let secs = end.duration.as_secs_f64();
+            match end.outcome {
+                AttemptOutcome::Completed(rec) => {
                     println!(
                         "[{:>2}/{total}] {:<32} {:<8} ({secs:.1}s, attempt {})",
                         records.len() + 1,
-                        job.entry.id,
+                        end.spec.experiment,
                         rec.report.verdict(),
-                        job.attempt
+                        end.attempt
                     );
-                    records.push(rec);
+                    records.push(*rec);
                 }
-                JobOutcome::Crashed(reason) if job.attempt == 1 => {
-                    println!(
-                        "[retry] {}: {reason} — retrying once (log: {})",
-                        job.entry.id,
-                        job.log_path.display()
-                    );
-                    queue.push((job.entry, 2));
-                }
-                JobOutcome::Crashed(reason) => {
-                    println!(
-                        "[{:>2}/{total}] {:<32} CRASHED  ({secs:.1}s, attempt {}): {reason}",
-                        records.len() + 1,
-                        job.entry.id,
-                        job.attempt
-                    );
-                    records.push(crash_record(
-                        job.entry.id,
-                        job.attempt,
-                        &reason,
-                        &job.log_path,
-                    ));
+                AttemptOutcome::Crashed { reason, will_retry } => {
+                    if will_retry {
+                        println!(
+                            "[retry] {}: {reason} — retrying once (log: {})",
+                            end.spec.experiment,
+                            end.log_path.display()
+                        );
+                    } else {
+                        println!(
+                            "[{:>2}/{total}] {:<32} CRASHED  ({secs:.1}s, attempt {}): {reason}",
+                            records.len() + 1,
+                            end.spec.experiment,
+                            end.attempt
+                        );
+                        records.push(crash_record(
+                            &end.spec.experiment,
+                            end.attempt,
+                            &reason,
+                            &end.log_path,
+                        ));
+                    }
                 }
             }
         }
-        if !running.is_empty() {
-            std::thread::sleep(Duration::from_millis(25));
+        if pool.is_idle() {
+            break;
         }
+        std::thread::sleep(Duration::from_millis(25));
     }
     let order: std::collections::HashMap<&str, usize> = all_experiments()
         .iter()
@@ -410,5 +396,62 @@ mod tests {
             !rec.report.claim.is_empty(),
             "claim comes from the registered oracle"
         );
+    }
+
+    #[test]
+    fn sweep_keeps_newest_run_dirs_and_ignores_strays() {
+        let root = std::env::temp_dir().join(format!("epic_sweep_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        for ts in 1..=5u64 {
+            let dir = root.join(format!("run-{ts:013}-1-0"));
+            std::fs::create_dir_all(&dir).unwrap();
+            std::fs::write(dir.join("x.log"), "log").unwrap();
+        }
+        // Strays: a flat pre-PR-8 log file and an unrelated directory.
+        std::fs::write(root.join("fig4_garbage.log"), "old layout").unwrap();
+        std::fs::create_dir_all(root.join("not_a_run")).unwrap();
+        sweep_run_dirs(&root, 2);
+        let mut left: Vec<String> = std::fs::read_dir(&root)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        left.sort();
+        assert_eq!(
+            left,
+            [
+                "fig4_garbage.log",
+                "not_a_run",
+                "run-0000000000004-1-0",
+                "run-0000000000005-1-0"
+            ]
+        );
+        // keep >= count is a no-op.
+        sweep_run_dirs(&root, 10);
+        assert_eq!(std::fs::read_dir(&root).unwrap().count(), 4);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn new_run_dirs_are_unique_and_swept() {
+        let scratch = std::env::temp_dir().join(format!("epic_rundir_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        // results_dir honors EPIC_RESULTS; serialize with the other env
+        // tests in this crate.
+        let _guard = crate::report::env_lock();
+        std::env::set_var("EPIC_RESULTS", &scratch);
+        std::env::set_var("EPIC_JOB_LOG_KEEP", "3");
+        let dirs: Vec<PathBuf> = (0..5).map(|_| new_run_dir().unwrap()).collect();
+        std::env::remove_var("EPIC_JOB_LOG_KEEP");
+        std::env::remove_var("EPIC_RESULTS");
+        let unique: HashSet<&PathBuf> = dirs.iter().collect();
+        assert_eq!(unique.len(), dirs.len(), "run dirs must be unique");
+        let root = scratch.join("jobs");
+        let survivors = std::fs::read_dir(&root).unwrap().count();
+        assert_eq!(survivors, 3, "sweep must keep exactly EPIC_JOB_LOG_KEEP");
+        // The newest dir (the one a runner would use) survives its own sweep.
+        assert!(dirs.last().unwrap().exists());
+        let _ = std::fs::remove_dir_all(&scratch);
     }
 }

@@ -8,6 +8,7 @@
 
 use epic_harness::experiments::all_experiments;
 use epic_harness::oracle::{all_oracles, oracle_for, Tier};
+use epic_harness::runner::pool::{EventKind, PoolEvent};
 use epic_harness::shapes::ShapesDoc;
 use std::collections::HashSet;
 use std::path::PathBuf;
@@ -340,13 +341,99 @@ fn parallel_check_produces_merged_v2_shapes() {
         assert_eq!(rec.attempts, 1, "healthy children need one attempt");
         assert!(rec.duration_ms > 0.0);
     }
+    // Child logs land in a per-run subdirectory (jobs/run-*/<id>.log),
+    // keeping results/jobs/ bounded across runs.
+    let run_dirs: Vec<PathBuf> = std::fs::read_dir(dir.join("jobs"))
+        .expect("jobs dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("run-"))
+        })
+        .collect();
+    assert_eq!(
+        run_dirs.len(),
+        1,
+        "one check run = one run dir: {run_dirs:?}"
+    );
     for id in ["fig7_passfirst", "fig8_periodic"] {
         assert!(
-            dir.join("jobs").join(format!("{id}.log")).exists(),
+            run_dirs[0].join(format!("{id}.log")).exists(),
             "captured child log missing for {id}"
         );
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--events <path>` streams the `epic-events-v1` NDJSON progress feed:
+/// every line parses back through [`PoolEvent::parse`], each experiment
+/// is queued, started, and finished exactly once (healthy children), and
+/// finished events carry duration + verdict. The serial (`-j 1`) path
+/// emits the same stream shape.
+#[test]
+fn check_events_flag_streams_ndjson_progress() {
+    for jobs in ["1", "2"] {
+        let dir = scratch_dir(&format!("events{jobs}"));
+        let events = dir.join("events.ndjson");
+        let out = epic_run_tiny(
+            &[
+                "check",
+                "fig7_passfirst",
+                "fig8_periodic",
+                "-j",
+                jobs,
+                "--events",
+                events.to_str().unwrap(),
+            ],
+            &dir,
+        );
+        assert!(
+            matches!(out.status.code(), Some(0 | 1)),
+            "-j {jobs} check must complete: {out:?}"
+        );
+        let text = std::fs::read_to_string(&events).expect("events file");
+        let parsed: Vec<PoolEvent> = text
+            .lines()
+            .map(|l| PoolEvent::parse(l).unwrap_or_else(|e| panic!("-j {jobs}: bad line {l}: {e}")))
+            .collect();
+        for id in ["fig7_passfirst", "fig8_periodic"] {
+            for kind in [EventKind::Queued, EventKind::Started, EventKind::Finished] {
+                let n = parsed
+                    .iter()
+                    .filter(|ev| ev.kind == kind && ev.experiment == id)
+                    .count();
+                assert_eq!(n, 1, "-j {jobs}: {id} should have exactly one {kind:?}");
+            }
+            let fin = parsed
+                .iter()
+                .find(|ev| ev.kind == EventKind::Finished && ev.experiment == id)
+                .unwrap();
+            assert_eq!(fin.outcome.as_deref(), Some("completed"), "-j {jobs}");
+            assert!(fin.duration_ms.unwrap_or(0.0) > 0.0, "-j {jobs}");
+            assert!(
+                matches!(fin.verdict.as_deref(), Some("PASS" | "ADVISORY" | "FAIL")),
+                "-j {jobs}: verdict {:?}",
+                fin.verdict
+            );
+            // queued <= started <= finished in wall-clock order.
+            let ts = |kind| {
+                parsed
+                    .iter()
+                    .find(|ev| ev.kind == kind && ev.experiment == id)
+                    .unwrap()
+                    .ts_ms
+            };
+            assert!(ts(EventKind::Queued) <= ts(EventKind::Started), "-j {jobs}");
+            assert!(
+                ts(EventKind::Started) <= ts(EventKind::Finished),
+                "-j {jobs}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// `bench-diff` end to end: identical files pass, a slowdown beyond the

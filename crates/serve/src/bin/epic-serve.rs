@@ -1,0 +1,106 @@
+//! CLI entry point for the experiment daemon.
+//!
+//! ```text
+//! epic-serve                                  # 127.0.0.1:7979, 2 slots
+//! epic-serve --port 0 --port-file /tmp/port   # kernel-assigned port
+//! epic-serve -j 8 --timeout-secs 900          # big-box serving
+//! epic-serve --epic-run /path/to/epic-run     # explicit worker binary
+//! ```
+//!
+//! Experiments run as `epic-run --one` child processes; by default the
+//! `epic-run` sitting next to this binary is used. Results land under
+//! `EPIC_RESULTS` (default `results/`), the queue under
+//! `<results>/queue/`. Exits 0 after a graceful drain (`POST /shutdown`
+//! or SIGTERM), non-zero on startup failure or bad usage.
+
+use epic_serve::ServeCfg;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const USAGE: &str = "usage: epic-serve [--port N] [--port-file PATH] [--epic-run PATH] \
+                     [-j N] [--timeout-secs N]";
+
+fn parse_args(args: &[String]) -> Result<ServeCfg, String> {
+    let default_timeout = epic_util::topology::env_u64("EPIC_JOB_TIMEOUT_SECS", 600);
+    let mut cfg = ServeCfg {
+        port: 7979,
+        port_file: None,
+        epic_run: PathBuf::new(),
+        slots: 2,
+        timeout: Duration::from_secs(default_timeout),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> Result<&str, String> {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--port" => {
+                let v = value_of(arg)?;
+                cfg.port = v
+                    .parse::<u16>()
+                    .map_err(|_| format!("bad --port '{v}'\n{USAGE}"))?;
+            }
+            "--port-file" => cfg.port_file = Some(PathBuf::from(value_of(arg)?)),
+            "--epic-run" => cfg.epic_run = PathBuf::from(value_of(arg)?),
+            "-j" | "--jobs" => {
+                let v = value_of(arg)?;
+                cfg.slots =
+                    v.parse::<usize>().ok().filter(|j| *j >= 1).ok_or_else(|| {
+                        format!("bad {arg} '{v}' (expected a count >= 1)\n{USAGE}")
+                    })?;
+            }
+            "--timeout-secs" => {
+                let v = value_of(arg)?;
+                cfg.timeout = Duration::from_secs(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad --timeout-secs '{v}'\n{USAGE}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument '{other}'\n{USAGE}")),
+        }
+    }
+    if cfg.epic_run.as_os_str().is_empty() {
+        cfg.epic_run = default_epic_run()?;
+    }
+    if !cfg.epic_run.is_file() {
+        return Err(format!(
+            "worker binary {} does not exist (point --epic-run at an epic-run build)",
+            cfg.epic_run.display()
+        ));
+    }
+    Ok(cfg)
+}
+
+/// The `epic-run` next to this binary — the two are built into the same
+/// target directory by every workspace build.
+fn default_epic_run() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("cannot resolve own path: {e}"))?;
+    let dir = me
+        .parent()
+        .ok_or_else(|| "own path has no parent directory".to_string())?;
+    let exe = if cfg!(windows) {
+        "epic-run.exe"
+    } else {
+        "epic-run"
+    };
+    Ok(dir.join(exe))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = epic_serve::run(cfg) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,108 @@
+//! The server-side HTML dashboard (`GET /dashboard`): a status summary
+//! plus one table row per job, rendered fresh per request from the
+//! queue — no client-side JavaScript, so it works from curl, lynx, and
+//! locked-down browsers alike.
+
+use crate::queue::{JobStatus, Queue};
+use std::fmt::Write as _;
+
+/// Escapes `&<>"` for safe embedding in HTML text and attributes.
+/// Experiment ids are validated against the registry, but crash reasons
+/// quote child stderr and env values are caller-controlled.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full dashboard page.
+pub fn render(queue: &Queue, uptime_secs: f64, slots: usize) -> String {
+    let mut out = String::from(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>epic-serve</title>\n<style>\n\
+         body { font-family: monospace; margin: 2em; }\n\
+         table { border-collapse: collapse; }\n\
+         td, th { border: 1px solid #999; padding: 0.3em 0.7em; text-align: left; }\n\
+         .done { background: #e6ffe6; } .failed { background: #fff3cd; }\n\
+         .crashed { background: #ffe6e6; } .running { background: #e6f0ff; }\n\
+         </style></head><body>\n<h1>epic-serve</h1>\n",
+    );
+    let _ = write!(
+        out,
+        "<p>up {uptime_secs:.0}s &middot; {slots} worker slots &middot; "
+    );
+    for (i, status) in JobStatus::all().into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(" / ");
+        }
+        let _ = write!(out, "{} {}", queue.count(status), status.name());
+    }
+    out.push_str(
+        "</p>\n<table>\n<tr><th>id</th><th>experiment</th><th>status</th>\
+                  <th>attempts</th><th>verdict</th><th>duration</th><th>detail</th></tr>\n",
+    );
+    for job in queue.jobs() {
+        let detail = job
+            .reason
+            .as_deref()
+            .or(job.result_path.as_deref())
+            .unwrap_or("");
+        let duration = job
+            .duration_ms
+            .map(|d| format!("{:.0} ms", d))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "<tr class=\"{}\"><td>{}</td><td>{}</td><td>{}</td><td>{}/{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td></tr>",
+            job.status.name(),
+            job.id,
+            escape(&job.experiment),
+            job.status.name(),
+            job.attempts_used,
+            job.max_attempts,
+            escape(job.verdict.as_deref().unwrap_or("")),
+            duration,
+            escape(detail),
+        );
+    }
+    out.push_str("</table>\n</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("epic_dash_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn dashboard_escapes_untrusted_fields() {
+        let dir = scratch();
+        let mut queue = Queue::open(&dir).unwrap();
+        let id = queue.submit("fig4_garbage", Vec::new(), 2, 100);
+        queue.update(id, |j| {
+            j.status = JobStatus::Crashed;
+            j.reason = Some("<script>alert(1)</script> & \"quotes\"".to_string());
+        });
+        let html = render(&queue, 5.0, 2);
+        assert!(!html.contains("<script>alert"), "reason must be escaped");
+        assert!(html.contains("&lt;script&gt;alert(1)&lt;/script&gt; &amp; &quot;quotes&quot;"));
+        assert!(html.contains("fig4_garbage"));
+        assert!(html.contains("1 crashed"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

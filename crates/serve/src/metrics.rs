@@ -1,0 +1,187 @@
+//! Prometheus text-format metrics for the daemon (`GET /metrics`).
+//!
+//! Counters are process-lifetime atomics bumped by the HTTP and
+//! scheduler threads; gauges are computed from the queue at scrape
+//! time, so a scrape never disagrees with `GET /jobs`. The output
+//! follows the Prometheus exposition format v0.0.4: `# HELP` / `# TYPE`
+//! preamble per family, `name{label="value"} number` samples.
+
+use crate::queue::Queue;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-lifetime counters (restart resets them; the queue itself is
+/// the durable record).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// HTTP requests accepted (any route, including errors).
+    pub http_requests: AtomicU64,
+    /// HTTP requests that produced a 4xx/5xx response.
+    pub http_errors: AtomicU64,
+    /// Jobs admitted via `POST /jobs`.
+    pub jobs_submitted: AtomicU64,
+    /// Child attempts started.
+    pub attempts_started: AtomicU64,
+    /// Child attempts that crashed (panic, signal, timeout).
+    pub attempts_crashed: AtomicU64,
+    /// Crashed attempts the scheduler re-queued.
+    pub retries: AtomicU64,
+}
+
+impl Counters {
+    /// Add 1 to `c` (relaxed; these are statistics, not synchronization).
+    pub fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Renders the full scrape body.
+pub fn render(queue: &Queue, counters: &Counters, uptime_secs: f64, slots: usize) -> String {
+    let c = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let mut out = String::new();
+    family(
+        &mut out,
+        "epic_serve_uptime_seconds",
+        "gauge",
+        "Seconds since the daemon started.",
+    );
+    let _ = writeln!(out, "epic_serve_uptime_seconds {}", uptime_secs);
+    family(
+        &mut out,
+        "epic_serve_worker_slots",
+        "gauge",
+        "Concurrent experiment worker slots.",
+    );
+    let _ = writeln!(out, "epic_serve_worker_slots {slots}");
+    family(
+        &mut out,
+        "epic_serve_jobs",
+        "gauge",
+        "Jobs in the queue by status.",
+    );
+    for status in crate::queue::JobStatus::all() {
+        let _ = writeln!(
+            out,
+            "epic_serve_jobs{{status=\"{}\"}} {}",
+            status.name(),
+            queue.count(status)
+        );
+    }
+    family(
+        &mut out,
+        "epic_serve_http_requests_total",
+        "counter",
+        "HTTP requests accepted.",
+    );
+    let _ = writeln!(
+        out,
+        "epic_serve_http_requests_total {}",
+        c(&counters.http_requests)
+    );
+    family(
+        &mut out,
+        "epic_serve_http_errors_total",
+        "counter",
+        "HTTP requests answered with a 4xx/5xx status.",
+    );
+    let _ = writeln!(
+        out,
+        "epic_serve_http_errors_total {}",
+        c(&counters.http_errors)
+    );
+    family(
+        &mut out,
+        "epic_serve_jobs_submitted_total",
+        "counter",
+        "Jobs admitted via POST /jobs.",
+    );
+    let _ = writeln!(
+        out,
+        "epic_serve_jobs_submitted_total {}",
+        c(&counters.jobs_submitted)
+    );
+    family(
+        &mut out,
+        "epic_serve_attempts_started_total",
+        "counter",
+        "Child experiment attempts started.",
+    );
+    let _ = writeln!(
+        out,
+        "epic_serve_attempts_started_total {}",
+        c(&counters.attempts_started)
+    );
+    family(
+        &mut out,
+        "epic_serve_attempts_crashed_total",
+        "counter",
+        "Child attempts that crashed (panic, signal, timeout).",
+    );
+    let _ = writeln!(
+        out,
+        "epic_serve_attempts_crashed_total {}",
+        c(&counters.attempts_crashed)
+    );
+    family(
+        &mut out,
+        "epic_serve_retries_total",
+        "counter",
+        "Crashed attempts re-queued with remaining budget.",
+    );
+    let _ = writeln!(out, "epic_serve_retries_total {}", c(&counters.retries));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("epic_metrics_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Every sample line is `name[{labels}] value` with a finite value,
+    /// and every family has HELP + TYPE exactly once, in order.
+    #[test]
+    fn scrape_is_well_formed_prometheus_text() {
+        let dir = scratch();
+        let mut queue = Queue::open(&dir).unwrap();
+        queue.submit("fig4_garbage", Vec::new(), 2, 100);
+        let counters = Counters::default();
+        Counters::bump(&counters.jobs_submitted);
+        let body = render(&queue, &counters, 1.5, 4);
+        let mut seen_families = Vec::new();
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                seen_families.push(rest.split(' ').next().unwrap().to_string());
+                continue;
+            }
+            if line.starts_with("# TYPE ") {
+                continue;
+            }
+            let (name_labels, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(
+                value.parse::<f64>().unwrap().is_finite(),
+                "bad value in {line}"
+            );
+            let name = name_labels.split('{').next().unwrap();
+            assert!(
+                seen_families.iter().any(|f| f == name),
+                "sample {name} has no HELP preamble"
+            );
+            assert!(name.starts_with("epic_serve_"), "bad namespace: {name}");
+        }
+        assert!(body.contains("epic_serve_jobs{status=\"queued\"} 1"));
+        assert!(body.contains("epic_serve_jobs_submitted_total 1"));
+        assert!(body.contains("epic_serve_worker_slots 4"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

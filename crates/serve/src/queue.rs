@@ -1,0 +1,596 @@
+//! The persistent job queue behind the daemon: a crash-safe NDJSON
+//! journal plus a snapshot, replayed at open so a restarted daemon
+//! resumes exactly where the last one died.
+//!
+//! Persistence layout, under `<results>/queue/`:
+//!
+//! * `journal.ndjson` — one full-job upsert per state transition. The
+//!   journal is append-only and fsync-free; a daemon killed mid-write
+//!   leaves at most one torn final line, which replay tolerates (the
+//!   previous upsert of that job still holds).
+//! * `snapshot.json` — the `epic-queue-v1` document: every job plus the
+//!   id counter. Written (atomically, tmp + rename) by
+//!   [`Queue::compact`], which then truncates the journal.
+//!
+//! Compaction runs on graceful shutdown and when the journal grows past
+//! [`compact_threshold`] lines — **not** at open: an open after a crash
+//! preserves the journal as evidence (and the restart integration test
+//! counts completion records in it).
+//!
+//! Recovery semantics at [`Queue::open`]: a job journaled as `running`
+//! lost its attempt to the dead daemon. The abort consumed no retry
+//! budget ([`Job::attempts_used`] only counts *finished* attempts), so
+//! recovery moves it to `retrying` and the scheduler re-runs it with
+//! full remaining credit — no result is lost, and a job whose `done`
+//! record made it to the journal is never re-run.
+
+use epic_util::json::{push_str_literal, render_num, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The snapshot schema tag.
+pub const SCHEMA: &str = "epic-queue-v1";
+
+/// Journal line count that triggers an automatic [`Queue::compact`].
+/// (`EPIC_QUEUE_COMPACT_LINES`, default 4096, minimum 16 so tests can
+/// force frequent compaction without a torrent of transitions.)
+pub fn compact_threshold() -> usize {
+    epic_util::topology::env_usize("EPIC_QUEUE_COMPACT_LINES", 4096).max(16)
+}
+
+/// Where a job is in its life cycle.
+///
+/// ```text
+/// queued ─► running ─► done | failed            (terminal results)
+///    ▲         │
+///    │         ├─► crashed                      (terminal: budget exhausted)
+///    │         └─► retrying ─► running ─► ...   (crash with credit, or a
+///    └─────────────── (recovery) ──────────┘     daemon death mid-attempt)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting for a worker slot, never attempted.
+    Queued,
+    /// An attempt is in flight.
+    Running,
+    /// Completed with a PASS or ADVISORY oracle verdict.
+    Done,
+    /// Completed, but a strict oracle assertion failed (a *result*, not
+    /// a crash — never retried).
+    Failed,
+    /// Crashed (panic, signal, timeout) with no attempt budget left.
+    Crashed,
+    /// Crashed or aborted with budget remaining; waiting to re-run.
+    Retrying,
+}
+
+impl JobStatus {
+    /// The serialized tag.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Crashed => "crashed",
+            JobStatus::Retrying => "retrying",
+        }
+    }
+
+    /// Parses a serialized tag.
+    pub fn parse(s: &str) -> Result<JobStatus, String> {
+        Ok(match s {
+            "queued" => JobStatus::Queued,
+            "running" => JobStatus::Running,
+            "done" => JobStatus::Done,
+            "failed" => JobStatus::Failed,
+            "crashed" => JobStatus::Crashed,
+            "retrying" => JobStatus::Retrying,
+            other => return Err(format!("queue: unknown status '{other}'")),
+        })
+    }
+
+    /// True when the job will make no further transitions.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Crashed
+        )
+    }
+
+    /// All statuses, for metrics enumeration.
+    pub fn all() -> [JobStatus; 6] {
+        [
+            JobStatus::Queued,
+            JobStatus::Running,
+            JobStatus::Done,
+            JobStatus::Failed,
+            JobStatus::Crashed,
+            JobStatus::Retrying,
+        ]
+    }
+}
+
+/// One submitted experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Queue-assigned id (monotonic, never reused).
+    pub id: u64,
+    /// The registry experiment id.
+    pub experiment: String,
+    /// Current life-cycle state.
+    pub status: JobStatus,
+    /// Finished attempts so far (aborted attempts do not count — that
+    /// is the retry credit a daemon death preserves).
+    pub attempts_used: u32,
+    /// Total attempt budget.
+    pub max_attempts: u32,
+    /// Per-job `EPIC_*` environment overrides forwarded to the child.
+    pub env: Vec<(String, String)>,
+    /// Unix ms at submission.
+    pub created_ms: u64,
+    /// Unix ms of the last transition.
+    pub updated_ms: u64,
+    /// Completed jobs: the oracle verdict (PASS | ADVISORY | FAIL).
+    pub verdict: Option<String>,
+    /// Completed/crashed jobs: wall-clock of the deciding attempt.
+    pub duration_ms: Option<f64>,
+    /// Crashed/retrying jobs: the crash classification.
+    pub reason: Option<String>,
+    /// Completed jobs: path of the child's single-record shapes
+    /// document (`epic-shapes-v2`), for result retrieval.
+    pub result_path: Option<String>,
+}
+
+impl Job {
+    /// Serializes to one JSON object (a journal line / snapshot entry /
+    /// API response body).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"id\": {}, \"experiment\": ", self.id);
+        push_str_literal(&mut out, &self.experiment);
+        out.push_str(", \"status\": ");
+        push_str_literal(&mut out, self.status.name());
+        let _ = write!(
+            out,
+            ", \"attempts_used\": {}, \"max_attempts\": {}, \"created_ms\": {}, \"updated_ms\": {}",
+            self.attempts_used, self.max_attempts, self.created_ms, self.updated_ms
+        );
+        out.push_str(", \"env\": {");
+        for (i, (k, v)) in self.env.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_str_literal(&mut out, k);
+            out.push_str(": ");
+            push_str_literal(&mut out, v);
+        }
+        out.push('}');
+        if let Some(v) = &self.verdict {
+            out.push_str(", \"verdict\": ");
+            push_str_literal(&mut out, v);
+        }
+        if let Some(d) = self.duration_ms {
+            let _ = write!(out, ", \"duration_ms\": {}", render_num(d));
+        }
+        if let Some(r) = &self.reason {
+            out.push_str(", \"reason\": ");
+            push_str_literal(&mut out, r);
+        }
+        if let Some(p) = &self.result_path {
+            out.push_str(", \"result_path\": ");
+            push_str_literal(&mut out, p);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one serialized job (round-trip partner of [`Job::to_json`]).
+    pub fn parse(line: &str) -> Result<Job, String> {
+        let v = Json::parse(line)?;
+        Job::from_json(&v)
+    }
+
+    /// Builds a job from an already-parsed JSON object.
+    pub fn from_json(v: &Json) -> Result<Job, String> {
+        let num = |key: &str| v.get(key).and_then(Json::as_f64);
+        let text = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_string);
+        let mut env = Vec::new();
+        if let Some(obj) = v.get("env").and_then(Json::as_obj) {
+            for (k, val) in obj {
+                let val = val
+                    .as_str()
+                    .ok_or_else(|| format!("queue: env value for {k} is not a string"))?;
+                env.push((k.clone(), val.to_string()));
+            }
+        }
+        Ok(Job {
+            id: num("id").ok_or("queue: job missing id")? as u64,
+            experiment: text("experiment").ok_or("queue: job missing experiment")?,
+            status: JobStatus::parse(
+                v.get("status")
+                    .and_then(Json::as_str)
+                    .ok_or("queue: job missing status")?,
+            )?,
+            attempts_used: num("attempts_used").ok_or("queue: job missing attempts_used")? as u32,
+            max_attempts: num("max_attempts").ok_or("queue: job missing max_attempts")? as u32,
+            env,
+            created_ms: num("created_ms").ok_or("queue: job missing created_ms")? as u64,
+            updated_ms: num("updated_ms").unwrap_or(0.0) as u64,
+            verdict: text("verdict"),
+            duration_ms: num("duration_ms"),
+            reason: text("reason"),
+            result_path: text("result_path"),
+        })
+    }
+}
+
+/// The queue: in-memory job table + journal/snapshot persistence.
+pub struct Queue {
+    dir: PathBuf,
+    jobs: BTreeMap<u64, Job>,
+    next_id: u64,
+    journal: File,
+    journal_lines: usize,
+}
+
+impl Queue {
+    /// Opens (or creates) the queue at `dir`, replaying
+    /// `snapshot.json` + `journal.ndjson` and applying crash recovery:
+    /// jobs left `running` by a dead daemon move to `retrying` (their
+    /// aborted attempt consumed no budget). The recovery transitions are
+    /// journaled immediately so a second crash cannot double-recover.
+    pub fn open(dir: &Path) -> Result<Queue, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("queue: cannot create {}: {e}", dir.display()))?;
+        let mut jobs: BTreeMap<u64, Job> = BTreeMap::new();
+        let mut next_id = 1;
+        let snap_path = dir.join("snapshot.json");
+        if snap_path.exists() {
+            let text = std::fs::read_to_string(&snap_path)
+                .map_err(|e| format!("queue: cannot read snapshot: {e}"))?;
+            let v = Json::parse(&text).map_err(|e| format!("queue: bad snapshot: {e}"))?;
+            match v.get("schema").and_then(Json::as_str) {
+                Some(SCHEMA) => {}
+                other => return Err(format!("queue: snapshot schema {other:?}, want {SCHEMA}")),
+            }
+            next_id = v
+                .get("next_id")
+                .and_then(Json::as_f64)
+                .ok_or("queue: snapshot missing next_id")? as u64;
+            for j in v.get("jobs").and_then(Json::as_arr).unwrap_or(&[]) {
+                let job = Job::from_json(j)?;
+                jobs.insert(job.id, job);
+            }
+        }
+        let journal_path = dir.join("journal.ndjson");
+        let mut journal_lines = 0;
+        if journal_path.exists() {
+            let file = File::open(&journal_path)
+                .map_err(|e| format!("queue: cannot read journal: {e}"))?;
+            for line in BufReader::new(file).lines() {
+                let line = line.map_err(|e| format!("queue: journal read error: {e}"))?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                journal_lines += 1;
+                match Job::parse(&line) {
+                    Ok(job) => {
+                        next_id = next_id.max(job.id + 1);
+                        jobs.insert(job.id, job);
+                    }
+                    // A torn final line (daemon died mid-write) is
+                    // expected; the job's previous upsert still holds.
+                    Err(_) => continue,
+                }
+            }
+        }
+        let journal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)
+            .map_err(|e| format!("queue: cannot open journal for append: {e}"))?;
+        let mut q = Queue {
+            dir: dir.to_path_buf(),
+            jobs,
+            next_id,
+            journal,
+            journal_lines,
+        };
+        // Crash recovery: a `running` job's daemon died under it.
+        let orphaned: Vec<u64> = q
+            .jobs
+            .values()
+            .filter(|j| j.status == JobStatus::Running)
+            .map(|j| j.id)
+            .collect();
+        for id in orphaned {
+            q.update(id, |job| {
+                job.status = JobStatus::Retrying;
+                job.reason = Some("daemon died while the attempt was in flight".to_string());
+            });
+        }
+        Ok(q)
+    }
+
+    /// Admits a new job and journals it. `max_attempts` is clamped to
+    /// >= 1.
+    pub fn submit(
+        &mut self,
+        experiment: &str,
+        env: Vec<(String, String)>,
+        max_attempts: u32,
+        now_ms: u64,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let job = Job {
+            id,
+            experiment: experiment.to_string(),
+            status: JobStatus::Queued,
+            attempts_used: 0,
+            max_attempts: max_attempts.max(1),
+            env,
+            created_ms: now_ms,
+            updated_ms: now_ms,
+            verdict: None,
+            duration_ms: None,
+            reason: None,
+            result_path: None,
+        };
+        self.append(&job);
+        self.jobs.insert(id, job);
+        id
+    }
+
+    /// Applies `f` to job `id` (no-op for unknown ids), stamps
+    /// `updated_ms`, and journals the new state.
+    pub fn update(&mut self, id: u64, f: impl FnOnce(&mut Job)) {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        f(job);
+        job.updated_ms = epic_harness::runner::pool::unix_ms();
+        let line = job.to_json();
+        let _ = writeln!(self.journal, "{line}");
+        let _ = self.journal.flush();
+        self.journal_lines += 1;
+        if self.journal_lines >= compact_threshold() {
+            self.compact();
+        }
+    }
+
+    fn append(&mut self, job: &Job) {
+        let _ = writeln!(self.journal, "{}", job.to_json());
+        let _ = self.journal.flush();
+        self.journal_lines += 1;
+        if self.journal_lines >= compact_threshold() {
+            self.compact();
+        }
+    }
+
+    /// One job by id.
+    pub fn get(&self, id: u64) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// All jobs, id order.
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    /// How many jobs are in `status`.
+    pub fn count(&self, status: JobStatus) -> usize {
+        self.jobs.values().filter(|j| j.status == status).count()
+    }
+
+    /// True when no job is queued, running, or retrying.
+    pub fn is_drained(&self) -> bool {
+        self.jobs.values().all(|j| j.status.is_terminal())
+    }
+
+    /// The ids currently eligible for (re-)submission to the pool.
+    pub fn runnable(&self) -> Vec<u64> {
+        self.jobs
+            .values()
+            .filter(|j| matches!(j.status, JobStatus::Queued | JobStatus::Retrying))
+            .map(|j| j.id)
+            .collect()
+    }
+
+    /// Renders the `epic-queue-v1` snapshot document.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema\": \"{SCHEMA}\", \"next_id\": {},\n \"jobs\": [",
+            self.next_id
+        );
+        for (i, job) in self.jobs.values().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+            out.push_str(&job.to_json());
+        }
+        out.push_str("\n ]}\n");
+        out
+    }
+
+    /// Writes `snapshot.json` atomically (tmp + rename) and truncates
+    /// the journal. Called on graceful shutdown and automatically past
+    /// [`compact_threshold`].
+    pub fn compact(&mut self) {
+        let tmp = self.dir.join("snapshot.json.tmp");
+        let snap = self.dir.join("snapshot.json");
+        if std::fs::write(&tmp, self.snapshot_json()).is_err() {
+            return; // keep journaling; the journal alone is sufficient
+        }
+        if std::fs::rename(&tmp, &snap).is_err() {
+            return;
+        }
+        if let Ok(f) = File::create(self.dir.join("journal.ndjson")) {
+            self.journal = f;
+            self.journal_lines = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("epic_queue_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn full_job() -> Job {
+        Job {
+            id: 42,
+            experiment: "fig4_garbage".to_string(),
+            status: JobStatus::Retrying,
+            attempts_used: 1,
+            max_attempts: 3,
+            env: vec![("EPIC_MILLIS".to_string(), "20".to_string())],
+            created_ms: 1_700_000_000_000,
+            updated_ms: 1_700_000_000_500,
+            verdict: Some("PASS".to_string()),
+            duration_ms: Some(12.5),
+            reason: Some("killed by signal".to_string()),
+            result_path: Some("/tmp/j42.json".to_string()),
+        }
+    }
+
+    #[test]
+    fn job_round_trips_with_and_without_optionals() {
+        let full = full_job();
+        assert_eq!(Job::parse(&full.to_json()).unwrap(), full);
+        let minimal = Job {
+            verdict: None,
+            duration_ms: None,
+            reason: None,
+            result_path: None,
+            env: Vec::new(),
+            status: JobStatus::Queued,
+            ..full
+        };
+        assert_eq!(Job::parse(&minimal.to_json()).unwrap(), minimal);
+    }
+
+    #[test]
+    fn status_tags_round_trip_and_terminality_is_fixed() {
+        for s in JobStatus::all() {
+            assert_eq!(JobStatus::parse(s.name()).unwrap(), s);
+        }
+        assert!(JobStatus::parse("bogus").is_err());
+        let terminal: Vec<JobStatus> = JobStatus::all()
+            .into_iter()
+            .filter(|s| s.is_terminal())
+            .collect();
+        assert_eq!(
+            terminal,
+            [JobStatus::Done, JobStatus::Failed, JobStatus::Crashed]
+        );
+    }
+
+    #[test]
+    fn submit_update_persist_and_reopen() {
+        let dir = scratch("reopen");
+        {
+            let mut q = Queue::open(&dir).unwrap();
+            let a = q.submit("fig4_garbage", Vec::new(), 2, 100);
+            let b = q.submit("fig7_passfirst", Vec::new(), 2, 101);
+            assert_eq!((a, b), (1, 2));
+            q.update(a, |j| j.status = JobStatus::Running);
+            q.update(b, |j| {
+                j.status = JobStatus::Done;
+                j.verdict = Some("PASS".to_string());
+                j.attempts_used = 1;
+            });
+            // Queue dropped without compaction = daemon died.
+        }
+        let q = Queue::open(&dir).unwrap();
+        // The running job recovered to retrying with its budget intact;
+        // the done job stayed done.
+        let a = q.get(1).unwrap();
+        assert_eq!(a.status, JobStatus::Retrying);
+        assert_eq!(a.attempts_used, 0, "abort consumes no budget");
+        assert!(a.reason.as_deref().unwrap().contains("daemon died"));
+        assert_eq!(q.get(2).unwrap().status, JobStatus::Done);
+        // Ids keep counting from the high-water mark.
+        let mut q = q;
+        assert_eq!(q.submit("fig8_periodic", Vec::new(), 2, 102), 3);
+        assert_eq!(q.runnable(), vec![1, 3]);
+        assert!(!q.is_drained());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_journal_line_is_tolerated() {
+        let dir = scratch("torn");
+        {
+            let mut q = Queue::open(&dir).unwrap();
+            q.submit("fig4_garbage", Vec::new(), 2, 100);
+        }
+        // Simulate a daemon dying mid-append.
+        let journal = dir.join("journal.ndjson");
+        let mut text = std::fs::read_to_string(&journal).unwrap();
+        text.push_str("{\"id\": 1, \"experiment\": \"fig4_garb");
+        std::fs::write(&journal, text).unwrap();
+        let q = Queue::open(&dir).unwrap();
+        let job = q.get(1).unwrap();
+        assert_eq!(job.status, JobStatus::Queued, "previous upsert holds");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_writes_snapshot_and_truncates_journal() {
+        let dir = scratch("compact");
+        let mut q = Queue::open(&dir).unwrap();
+        let id = q.submit("fig4_garbage", Vec::new(), 2, 100);
+        q.update(id, |j| {
+            j.status = JobStatus::Done;
+            j.attempts_used = 1;
+        });
+        q.compact();
+        let snap = std::fs::read_to_string(dir.join("snapshot.json")).unwrap();
+        assert!(snap.contains(SCHEMA));
+        assert_eq!(
+            std::fs::read_to_string(dir.join("journal.ndjson")).unwrap(),
+            "",
+            "compaction truncates the journal"
+        );
+        // Reopen from the snapshot alone.
+        drop(q);
+        let mut q = Queue::open(&dir).unwrap();
+        assert_eq!(q.get(1).unwrap().status, JobStatus::Done);
+        assert_eq!(q.submit("fig7_passfirst", Vec::new(), 2, 101), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_growth_triggers_automatic_compaction() {
+        let dir = scratch("autocompact");
+        let mut q = Queue::open(&dir).unwrap();
+        let id = q.submit("fig4_garbage", Vec::new(), 2, 100);
+        // compact_threshold() is >= 16; hammer well past it.
+        for _ in 0..(compact_threshold() + 5) {
+            q.update(id, |j| j.status = JobStatus::Retrying);
+        }
+        let journal_len = std::fs::read_to_string(dir.join("journal.ndjson"))
+            .unwrap()
+            .lines()
+            .count();
+        assert!(
+            journal_len < compact_threshold(),
+            "journal must have been compacted (still {journal_len} lines)"
+        );
+        assert!(dir.join("snapshot.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,403 @@
+//! The daemon itself: a TCP accept loop, a scheduler thread driving the
+//! shared [`epic_harness::runner::pool::Pool`], and the HTTP routes.
+//!
+//! Threading model, kept deliberately small:
+//!
+//! * the **main thread** owns the listener: non-blocking accept,
+//!   one spawned handler thread per connection (requests are tiny and
+//!   connections are `connection: close`, so a thread pool would buy
+//!   nothing);
+//! * the **scheduler thread** exclusively owns the process pool and
+//!   ticks it every 25 ms, feeding runnable queue jobs in and folding
+//!   attempt results back into the queue;
+//! * the [`Queue`] sits behind a mutex — the single point both sides
+//!   agree on. Every transition is journaled by the queue itself, so
+//!   there is no separate persistence path to race with.
+//!
+//! Shutdown (`POST /shutdown` or SIGTERM) is a *drain*: the scheduler
+//! kills in-flight children and journals them as `retrying` — an
+//! aborted attempt consumes no retry budget — then compacts the queue
+//! and exits. A restarted daemon picks the queue back up from disk.
+
+use crate::dashboard;
+use crate::metrics::{self, Counters};
+use crate::queue::{JobStatus, Queue};
+use epic_harness::experiments::experiment_by_name;
+use epic_harness::runner::pool::{unix_ms, AttemptOutcome, EventKind, JobSpec, Pool, PoolCfg};
+use epic_util::http::{Limits, Request, Response};
+use epic_util::json::Json;
+use std::collections::HashSet;
+use std::io::{BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration (see `epic-serve --help` for the flags).
+#[derive(Debug, Clone)]
+pub struct ServeCfg {
+    /// TCP port to bind on 127.0.0.1 (0 = kernel-assigned).
+    pub port: u16,
+    /// When set, the bound port is written here after listen succeeds —
+    /// how scripts using `--port 0` discover the address.
+    pub port_file: Option<PathBuf>,
+    /// The `epic-run` binary to spawn experiment children with.
+    pub epic_run: PathBuf,
+    /// Concurrent worker slots.
+    pub slots: usize,
+    /// Per-attempt timeout.
+    pub timeout: Duration,
+}
+
+/// Set by the SIGTERM handler; polled by the accept loop.
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+/// Registers a SIGTERM handler that requests a graceful drain, using a
+/// raw `signal(2)` binding so no FFI crate is needed. Only the
+/// async-signal-safe store happens in the handler.
+#[cfg(unix)]
+fn install_sigterm() {
+    extern "C" fn on_sigterm(_sig: i32) {
+        SIGNALED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    #[allow(clippy::fn_to_numeric_cast)]
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm() {}
+
+/// State shared between the HTTP handlers and the scheduler.
+struct Shared {
+    queue: Mutex<Queue>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    started: Instant,
+    slots: usize,
+}
+
+/// Runs the daemon until a graceful shutdown completes. `Err` is a
+/// startup failure (bind, queue open, run-dir creation).
+pub fn run(cfg: ServeCfg) -> Result<(), String> {
+    let queue_dir = epic_harness::report::results_dir().join("queue");
+    let queue = Queue::open(&queue_dir)?;
+    let recovered = queue.runnable().len();
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))
+        .map_err(|e| format!("epic-serve: cannot bind 127.0.0.1:{}: {e}", cfg.port))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("epic-serve: no local addr: {e}"))?;
+    if let Some(pf) = &cfg.port_file {
+        std::fs::write(pf, format!("{}\n", addr.port()))
+            .map_err(|e| format!("epic-serve: cannot write port file {}: {e}", pf.display()))?;
+    }
+    let run_dir = epic_harness::runner::new_run_dir()
+        .map_err(|e| format!("epic-serve: cannot create run dir: {e}"))?;
+    install_sigterm();
+    println!(
+        "epic-serve: listening on http://{addr} ({} slots, timeout {}s, queue {}, logs {})",
+        cfg.slots,
+        cfg.timeout.as_secs(),
+        queue_dir.display(),
+        run_dir.display()
+    );
+    if recovered > 0 {
+        println!("epic-serve: resuming {recovered} unfinished job(s) from the queue");
+    }
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(queue),
+        counters: Counters::default(),
+        shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        slots: cfg.slots,
+    });
+    let pool = Pool::new(PoolCfg {
+        slots: cfg.slots,
+        timeout: cfg.timeout,
+        dir: run_dir,
+        program: cfg.epic_run.clone(),
+    });
+    let scheduler = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || run_scheduler(&shared, pool))
+    };
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("epic-serve: set_nonblocking: {e}"))?;
+    while !scheduler.is_finished() {
+        if SIGNALED.load(Ordering::SeqCst) {
+            shared.shutdown.store(true, Ordering::SeqCst);
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle_connection(stream, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                eprintln!("epic-serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    scheduler
+        .join()
+        .map_err(|_| "epic-serve: scheduler thread panicked".to_string())?;
+    println!("epic-serve: drained, queue compacted — bye");
+    Ok(())
+}
+
+/// The scheduler loop: feed runnable jobs to the pool, fold results
+/// back, and on shutdown abort in-flight attempts with retry credit.
+fn run_scheduler(shared: &Shared, mut pool: Pool) {
+    // Jobs handed to the pool this process lifetime; keeps a retrying
+    // job (which the pool re-queues internally) from being submitted
+    // twice.
+    let mut submitted: HashSet<u64> = HashSet::new();
+    loop {
+        let shutdown = shared.shutdown.load(Ordering::SeqCst);
+        {
+            let mut q = shared.queue.lock().expect("queue lock");
+            if !shutdown {
+                for id in q.runnable() {
+                    if submitted.contains(&id) {
+                        continue;
+                    }
+                    let job = q.get(id).expect("runnable id exists").clone();
+                    // Remaining budget: finished attempts consume it,
+                    // aborted ones (previous daemon death) do not.
+                    let remaining =
+                        (job.max_attempts - job.attempts_used.min(job.max_attempts)).max(1);
+                    let cost = experiment_by_name(&job.experiment)
+                        .map(|e| e.cost)
+                        .unwrap_or(1);
+                    pool.submit(JobSpec {
+                        experiment: job.experiment.clone(),
+                        cost,
+                        stem: format!("j{:06}-{}", job.id, job.experiment),
+                        env: job.env.clone(),
+                        max_attempts: remaining,
+                        tag: job.id,
+                    });
+                    submitted.insert(id);
+                }
+            }
+            let ended = pool.tick();
+            for ev in pool.take_events() {
+                if ev.kind == EventKind::Started {
+                    Counters::bump(&shared.counters.attempts_started);
+                    q.update(ev.tag, |j| j.status = JobStatus::Running);
+                }
+            }
+            for end in ended {
+                let id = end.spec.tag;
+                let duration_ms = end.duration.as_secs_f64() * 1e3;
+                match end.outcome {
+                    AttemptOutcome::Completed(rec) => {
+                        let verdict = rec.report.verdict().to_string();
+                        let result_path = end.json_path.to_string_lossy().into_owned();
+                        q.update(id, |j| {
+                            j.attempts_used += 1;
+                            j.status = if verdict == "FAIL" {
+                                JobStatus::Failed
+                            } else {
+                                JobStatus::Done
+                            };
+                            j.verdict = Some(verdict);
+                            j.duration_ms = Some(duration_ms);
+                            j.result_path = Some(result_path);
+                            j.reason = None;
+                        });
+                    }
+                    AttemptOutcome::Crashed { reason, will_retry } => {
+                        Counters::bump(&shared.counters.attempts_crashed);
+                        if will_retry {
+                            Counters::bump(&shared.counters.retries);
+                        }
+                        q.update(id, |j| {
+                            j.attempts_used += 1;
+                            j.status = if will_retry {
+                                JobStatus::Retrying
+                            } else {
+                                JobStatus::Crashed
+                            };
+                            j.reason = Some(reason);
+                            j.duration_ms = Some(duration_ms);
+                        });
+                    }
+                }
+            }
+            if shutdown {
+                // Drain: kill in-flight children; they keep their
+                // attempt credit and a restarted daemon re-runs them.
+                for aborted in pool.abort_all() {
+                    q.update(aborted.spec.tag, |j| {
+                        if j.status == JobStatus::Running {
+                            j.status = JobStatus::Retrying;
+                            j.reason = Some(
+                                "daemon shut down while the attempt was in flight".to_string(),
+                            );
+                        }
+                    });
+                }
+                q.compact();
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Serves one connection: parse one request, answer, close. A parse
+/// error maps to its 4xx/5xx status when the connection is still
+/// usable, and to a silent close when it is not.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    Counters::bump(&shared.counters.http_requests);
+    let (response, shutdown_after) = match Request::parse(&mut reader, &Limits::default()) {
+        Ok(req) => route(&req, shared),
+        Err(e) => match Response::for_error(&e) {
+            Some(resp) => (resp, false),
+            None => return, // peer vanished mid-request; nothing to say
+        },
+    };
+    if response.status >= 400 {
+        Counters::bump(&shared.counters.http_errors);
+    }
+    let mut stream = stream;
+    let _ = stream.write_all(&response.to_bytes());
+    let _ = stream.flush();
+    // The flag flips only after the response bytes are out, so the
+    // /shutdown caller always hears the acknowledgement.
+    if shutdown_after {
+        shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A plain-text error response (the route-level twin of
+/// [`Response::for_error`], which maps parse errors).
+fn error(status: u16, msg: &str) -> Response {
+    Response::text(status, format!("{msg}\n"))
+}
+
+/// Dispatches one parsed request. Returns the response and whether to
+/// request shutdown after sending it.
+fn route(req: &Request, shared: &Shared) -> (Response, bool) {
+    match (req.method.as_str(), req.target.as_str()) {
+        ("POST", "/jobs") => (post_job(req, shared), false),
+        ("GET", "/jobs") => (list_jobs(shared), false),
+        ("GET", path) if path.starts_with("/jobs/") => (get_job(path, shared), false),
+        ("GET", "/metrics") => {
+            let q = shared.queue.lock().expect("queue lock");
+            let body = metrics::render(
+                &q,
+                &shared.counters,
+                shared.started.elapsed().as_secs_f64(),
+                shared.slots,
+            );
+            (
+                Response::new(200).with_content("text/plain; version=0.0.4", body.into_bytes()),
+                false,
+            )
+        }
+        ("GET", "/" | "/dashboard") => {
+            let q = shared.queue.lock().expect("queue lock");
+            let body = dashboard::render(&q, shared.started.elapsed().as_secs_f64(), shared.slots);
+            (Response::html(200, body), false)
+        }
+        ("POST", "/shutdown") => (
+            Response::json(200, "{\"status\": \"draining\"}".to_string()),
+            true,
+        ),
+        ("GET" | "POST", _) => (error(404, "no such route"), false),
+        _ => (error(405, "method not allowed"), false),
+    }
+}
+
+/// `POST /jobs` — body `{"experiment": "<registry id>",
+/// "env": {"EPIC_*": "..."}, "max_attempts": n}` (env and max_attempts
+/// optional). Replies 202 with the assigned id.
+fn post_job(req: &Request, shared: &Shared) -> Response {
+    let body = match req.body_str() {
+        Ok(s) => s,
+        Err(_) => return error(400, "body is not utf-8"),
+    };
+    let v = match Json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return error(400, &format!("bad json body: {e}")),
+    };
+    let Some(experiment) = v.get("experiment").and_then(Json::as_str) else {
+        return error(400, "missing \"experiment\" field");
+    };
+    if experiment_by_name(experiment).is_none() {
+        return error(
+            400,
+            &format!("unknown experiment '{experiment}' (see epic-run list)"),
+        );
+    }
+    let mut env = Vec::new();
+    if let Some(obj) = v.get("env").and_then(Json::as_obj) {
+        for (k, val) in obj {
+            if !k.starts_with("EPIC_") {
+                return error(
+                    400,
+                    &format!("env override '{k}' rejected: only EPIC_* keys are allowed"),
+                );
+            }
+            let Some(val) = val.as_str() else {
+                return error(400, &format!("env value for '{k}' must be a string"));
+            };
+            env.push((k.clone(), val.to_string()));
+        }
+    }
+    let max_attempts = v
+        .get("max_attempts")
+        .and_then(Json::as_f64)
+        .map(|n| n as u32)
+        .unwrap_or(2)
+        .clamp(1, 10);
+    Counters::bump(&shared.counters.jobs_submitted);
+    let mut q = shared.queue.lock().expect("queue lock");
+    let id = q.submit(experiment, env, max_attempts, unix_ms());
+    Response::json(202, format!("{{\"id\": {id}, \"status\": \"queued\"}}"))
+}
+
+/// `GET /jobs` — every job, id order.
+fn list_jobs(shared: &Shared) -> Response {
+    let q = shared.queue.lock().expect("queue lock");
+    let mut body = String::from("{\"jobs\": [");
+    for (i, job) in q.jobs().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&job.to_json());
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+/// `GET /jobs/{id}`.
+fn get_job(path: &str, shared: &Shared) -> Response {
+    let id_str = &path["/jobs/".len()..];
+    let Ok(id) = id_str.parse::<u64>() else {
+        return error(400, &format!("bad job id '{id_str}'"));
+    };
+    let q = shared.queue.lock().expect("queue lock");
+    match q.get(id) {
+        Some(job) => Response::json(200, job.to_json()),
+        None => error(404, &format!("no job {id}")),
+    }
+}

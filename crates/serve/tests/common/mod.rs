@@ -1,0 +1,222 @@
+//! Shared helpers for the daemon integration tests: spawning a scaled-
+//! down `epic-serve`, discovering its kernel-assigned port, and talking
+//! plain HTTP/1.1 over `TcpStream` (no client library — same hand-
+//! rolled spirit as the server).
+
+#![allow(dead_code)] // each test crate uses a subset
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A fresh scratch directory (doubles as `EPIC_RESULTS`).
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("epic_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The `epic-run` worker binary: the sibling of the `epic-serve` under
+/// test. A full workspace build always produces both; when this test
+/// target is built in isolation (`cargo test -p epic-serve`), build it
+/// on demand.
+pub fn epic_run_path() -> PathBuf {
+    let serve = PathBuf::from(env!("CARGO_BIN_EXE_epic-serve"));
+    let exe = if cfg!(windows) {
+        "epic-run.exe"
+    } else {
+        "epic-run"
+    };
+    let path = serve.parent().expect("bin dir").join(exe);
+    if !path.is_file() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+        let status = Command::new(cargo)
+            .args(["build", "-p", "epic-harness", "--bin", "epic-run"])
+            .status()
+            .expect("spawn cargo build");
+        assert!(status.success(), "building epic-run failed");
+    }
+    assert!(path.is_file(), "no epic-run at {}", path.display());
+    path
+}
+
+/// A running daemon under test.
+pub struct Daemon {
+    /// The daemon process.
+    pub child: Child,
+    /// The kernel-assigned port it bound.
+    pub port: u16,
+}
+
+impl Daemon {
+    /// Starts `epic-serve` on `--port 0` with `EPIC_RESULTS=dir`, the
+    /// smoke-scale experiment knobs (`EPIC_MILLIS=millis`, one trial),
+    /// and waits for the port file. `tag` keeps port files of
+    /// sequential daemons in one dir apart.
+    pub fn start(dir: &Path, tag: &str, slots: usize, millis: &str) -> Daemon {
+        let port_file = dir.join(format!("port-{tag}"));
+        let _ = std::fs::remove_file(&port_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_epic-serve"))
+            .args([
+                "--port",
+                "0",
+                "--port-file",
+                port_file.to_str().unwrap(),
+                "--epic-run",
+                epic_run_path().to_str().unwrap(),
+                "-j",
+                &slots.to_string(),
+            ])
+            .env("EPIC_RESULTS", dir)
+            .env("EPIC_MILLIS", millis)
+            .env("EPIC_TRIALS", "1")
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn epic-serve");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let port = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(port) = text.trim().parse::<u16>() {
+                    break port;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon never wrote its port file"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        Daemon { child, port }
+    }
+
+    /// One HTTP request; returns (status, body). Panics on transport
+    /// errors — the daemon is supposed to be up.
+    pub fn request(&self, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+        http(self.port, method, path, body).expect("http request")
+    }
+
+    /// Requests a graceful shutdown and asserts the daemon exits 0.
+    pub fn shutdown_and_wait(mut self) {
+        let (status, body) = self.request("POST", "/shutdown", None);
+        assert_eq!(status, 200, "shutdown must be acknowledged: {body}");
+        let code = wait_with_timeout(&mut self.child, Duration::from_secs(30));
+        assert_eq!(code, Some(0), "daemon must exit 0 after a graceful drain");
+    }
+}
+
+/// Waits up to `timeout` for `child`, returning its exit code (`None` =
+/// killed by signal). Panics if it never exits.
+pub fn wait_with_timeout(child: &mut Child, timeout: Duration) -> Option<i32> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status.code();
+        }
+        assert!(Instant::now() < deadline, "daemon did not exit in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One `connection: close` HTTP/1.1 exchange.
+pub fn http(
+    port: u16,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut req = format!("{method} {path} HTTP/1.1\r\nhost: localhost\r\n");
+    match body {
+        Some(b) => {
+            req.push_str(&format!(
+                "content-type: application/json\r\ncontent-length: {}\r\n\r\n{b}",
+                b.len()
+            ));
+        }
+        None => req.push_str("\r\n"),
+    }
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let status = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.get(..3))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("bad status line: {raw:.80}"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Sends raw bytes (not necessarily valid HTTP) and drains whatever the
+/// server answers. Returns Ok even if the server just closes.
+pub fn send_raw(port: u16, bytes: &[u8]) -> Result<String, String> {
+    let mut stream =
+        TcpStream::connect(("127.0.0.1", port)).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let _ = stream.write_all(bytes);
+    let mut raw = String::new();
+    let _ = stream.read_to_string(&mut raw);
+    Ok(raw)
+}
+
+/// Polls `GET /jobs` until `pred` holds on the parsed body, or panics
+/// at the deadline.
+pub fn poll_jobs(
+    daemon: &Daemon,
+    timeout: Duration,
+    what: &str,
+    mut pred: impl FnMut(&epic_util::json::Json) -> bool,
+) -> epic_util::json::Json {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, body) = daemon.request("GET", "/jobs", None);
+        assert_eq!(status, 200, "GET /jobs: {body}");
+        let v = epic_util::json::Json::parse(&body).expect("jobs json");
+        if pred(&v) {
+            return v;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last /jobs: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The `(status, experiment)` pairs in a `GET /jobs` body, id order.
+pub fn job_states(v: &epic_util::json::Json) -> Vec<(String, String)> {
+    v.get("jobs")
+        .and_then(epic_util::json::Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|j| {
+            (
+                j.get("status")
+                    .and_then(epic_util::json::Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                j.get("experiment")
+                    .and_then(epic_util::json::Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+            )
+        })
+        .collect()
+}

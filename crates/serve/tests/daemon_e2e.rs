@@ -1,0 +1,130 @@
+//! End-to-end daemon test: eight concurrent HTTP jobs run to
+//! completion with SHAPES-compatible result records, live Prometheus
+//! metrics, a server-side dashboard, resilience to malformed requests,
+//! and a graceful drain that exits 0 and compacts the queue.
+
+mod common;
+
+use common::{job_states, poll_jobs, send_raw, Daemon};
+use epic_harness::shapes::ShapesDoc;
+use epic_util::json::Json;
+use std::time::Duration;
+
+#[test]
+fn eight_jobs_metrics_dashboard_and_graceful_shutdown() {
+    let dir = common::scratch_dir("e2e");
+    let daemon = Daemon::start(&dir, "a", 4, "20");
+
+    // --- Submit 8 jobs over HTTP (repeats are fine: stems are keyed by
+    // job id). Pick real registry ids so the daemon-side validation and
+    // the child-side registry agree.
+    let registry = epic_harness::experiments::all_experiments();
+    let ids: Vec<&str> = (0..8).map(|i| registry[i % registry.len()].id).collect();
+    for (i, id) in ids.iter().enumerate() {
+        let (status, body) = daemon.request(
+            "POST",
+            "/jobs",
+            Some(&format!("{{\"experiment\": \"{id}\"}}")),
+        );
+        assert_eq!(status, 202, "submit {id}: {body}");
+        let v = Json::parse(&body).expect("submit response json");
+        assert_eq!(
+            v.get("id").and_then(Json::as_f64),
+            Some((i + 1) as f64),
+            "ids are assigned in order"
+        );
+    }
+
+    // --- Input validation: bad bodies are 400s, not daemon states.
+    for (body, why) in [
+        ("not json", "unparseable body"),
+        ("{}", "missing experiment"),
+        ("{\"experiment\": \"no_such_experiment\"}", "unknown id"),
+        (
+            "{\"experiment\": \"fig4_garbage\", \"env\": {\"PATH\": \"/tmp\"}}",
+            "non-EPIC env override",
+        ),
+    ] {
+        let (status, _) = daemon.request("POST", "/jobs", Some(body));
+        assert_eq!(status, 400, "{why} must be rejected");
+    }
+    let (status, _) = daemon.request("GET", "/jobs/999", None);
+    assert_eq!(status, 404);
+    let (status, _) = daemon.request("GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = daemon.request("DELETE", "/jobs", None);
+    assert_eq!(status, 405);
+
+    // --- Malformed wire data must not take the daemon down.
+    for garbage in [
+        &b"\xff\xfe\xfd garbage\r\n\r\n"[..],
+        b"GET / HTTP/9.9\r\n\r\n",
+        b"POST /jobs HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+        b"POST /jobs HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort",
+    ] {
+        let _ = send_raw(daemon.port, garbage);
+    }
+    let (status, _) = daemon.request("GET", "/jobs", None);
+    assert_eq!(status, 200, "daemon must survive malformed requests");
+
+    // --- All 8 jobs complete (tiny scale can FAIL oracles; completion
+    // is what the daemon owes us, the verdict belongs to the record).
+    let done = poll_jobs(&daemon, Duration::from_secs(120), "8 completed jobs", |v| {
+        let states = job_states(v);
+        states.len() == 8 && states.iter().all(|(s, _)| s == "done" || s == "failed")
+    });
+
+    // --- Every job's result is a parseable single-record epic-shapes-v2
+    // document for the right experiment.
+    let jobs = done.get("jobs").and_then(Json::as_arr).unwrap();
+    for job in jobs {
+        let experiment = job.get("experiment").and_then(Json::as_str).unwrap();
+        let verdict = job.get("verdict").and_then(Json::as_str).unwrap();
+        assert!(matches!(verdict, "PASS" | "ADVISORY" | "FAIL"));
+        assert!(job.get("duration_ms").and_then(Json::as_f64).unwrap() > 0.0);
+        let path = job.get("result_path").and_then(Json::as_str).unwrap();
+        let doc = ShapesDoc::parse(&std::fs::read_to_string(path).expect("result file"))
+            .expect("result parses as epic-shapes-v2");
+        assert_eq!(doc.records.len(), 1);
+        assert_eq!(doc.records[0].report.experiment, experiment);
+    }
+
+    // --- Metrics: well-formed Prometheus text with live values.
+    let (status, metrics) = daemon.request("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    for line in metrics.lines().filter(|l| !l.starts_with('#')) {
+        let (_, value) = line.rsplit_once(' ').expect("sample line");
+        assert!(value.parse::<f64>().is_ok(), "bad sample: {line}");
+    }
+    assert!(metrics.contains("epic_serve_jobs_submitted_total 8"));
+    assert!(metrics.contains("epic_serve_attempts_started_total"));
+    let done_jobs: usize = ["done", "failed"]
+        .iter()
+        .map(|s| {
+            metrics
+                .lines()
+                .find_map(|l| l.strip_prefix(&format!("epic_serve_jobs{{status=\"{s}\"}} ")))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(0)
+        })
+        .sum();
+    assert_eq!(done_jobs, 8, "metrics must agree with /jobs:\n{metrics}");
+
+    // --- Dashboard: HTML, escaped, mentions our jobs.
+    let (status, html) = daemon.request("GET", "/dashboard", None);
+    assert_eq!(status, 200);
+    assert!(html.contains("<table>"));
+    assert!(html.contains("fig4_garbage") || html.contains(ids[0]));
+
+    // --- Graceful drain: exit 0, snapshot written, journal truncated.
+    daemon.shutdown_and_wait();
+    let queue_dir = dir.join("queue");
+    let snapshot = std::fs::read_to_string(queue_dir.join("snapshot.json")).expect("snapshot");
+    assert!(snapshot.contains("epic-queue-v1"));
+    assert_eq!(
+        std::fs::read_to_string(queue_dir.join("journal.ndjson")).expect("journal"),
+        "",
+        "graceful shutdown compacts the journal"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

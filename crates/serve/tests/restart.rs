@@ -1,0 +1,122 @@
+//! Kill-and-restart: a daemon SIGKILLed mid-run loses nothing. The
+//! successor replays the queue journal, moves orphaned `running` jobs
+//! to `retrying` (their aborted attempt consumed no retry budget), and
+//! completes every job **exactly once** — the journal holds exactly one
+//! terminal upsert per job, and no completed job is ever re-run.
+
+mod common;
+
+use common::{job_states, poll_jobs, Daemon};
+use epic_util::json::Json;
+use std::time::Duration;
+
+#[test]
+fn sigkill_mid_run_then_restart_completes_every_job_exactly_once() {
+    let dir = common::scratch_dir("restart");
+
+    // --- First daemon: slow experiments (so the kill lands mid-attempt).
+    let daemon = Daemon::start(&dir, "first", 2, "2000");
+    for id in [
+        "fig4_garbage",
+        "fig7_passfirst",
+        "fig8_periodic",
+        "fig4_garbage",
+    ] {
+        let (status, body) = daemon.request(
+            "POST",
+            "/jobs",
+            Some(&format!("{{\"experiment\": \"{id}\"}}")),
+        );
+        assert_eq!(status, 202, "submit {id}: {body}");
+    }
+    poll_jobs(
+        &daemon,
+        Duration::from_secs(60),
+        "an attempt in flight",
+        |v| job_states(v).iter().any(|(s, _)| s == "running"),
+    );
+
+    // --- SIGKILL: no drain, no compaction, journal left as-is.
+    let mut child = daemon.child;
+    child.kill().expect("kill daemon");
+    let _ = child.wait();
+
+    // --- Second daemon, same queue dir, fast experiments.
+    let daemon = Daemon::start(&dir, "second", 2, "20");
+    let done = poll_jobs(
+        &daemon,
+        Duration::from_secs(120),
+        "all 4 jobs completed after restart",
+        |v| {
+            let states = job_states(v);
+            states.len() == 4 && states.iter().all(|(s, _)| s == "done" || s == "failed")
+        },
+    );
+
+    // --- No job dropped: all four submissions completed.
+    let jobs = done.get("jobs").and_then(Json::as_arr).unwrap();
+    assert_eq!(jobs.len(), 4);
+    let experiments: Vec<&str> = jobs
+        .iter()
+        .map(|j| j.get("experiment").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        experiments,
+        [
+            "fig4_garbage",
+            "fig7_passfirst",
+            "fig8_periodic",
+            "fig4_garbage"
+        ]
+    );
+
+    // --- No job double-completed: the journal (both daemons' appends —
+    // the SIGKILL skipped compaction, so the full history is intact)
+    // holds exactly one terminal upsert per job id.
+    let journal =
+        std::fs::read_to_string(dir.join("queue").join("journal.ndjson")).expect("journal");
+    for id in 1..=4u64 {
+        let terminal = journal
+            .lines()
+            .filter_map(|l| Json::parse(l).ok())
+            .filter(|v| v.get("id").and_then(Json::as_f64) == Some(id as f64))
+            .filter(|v| {
+                matches!(
+                    v.get("status").and_then(Json::as_str),
+                    Some("done" | "failed")
+                )
+            })
+            .count();
+        assert_eq!(terminal, 1, "job {id} must complete exactly once");
+    }
+
+    // --- The kill is visible in history: at least one job went through
+    // recovery (`retrying` with the daemon-death reason) — proving the
+    // restart actually resumed interrupted work rather than starting
+    // fresh.
+    assert!(
+        journal
+            .lines()
+            .filter_map(|l| Json::parse(l).ok())
+            .any(|v| {
+                v.get("status").and_then(Json::as_str) == Some("retrying")
+                    && v.get("reason")
+                        .and_then(Json::as_str)
+                        .is_some_and(|r| r.contains("daemon died"))
+            }),
+        "recovery transition missing from journal:\n{journal}"
+    );
+
+    // --- Attempt credit: nothing exhausted its budget on aborts alone.
+    for job in jobs {
+        let used = job.get("attempts_used").and_then(Json::as_f64).unwrap();
+        let max = job.get("max_attempts").and_then(Json::as_f64).unwrap();
+        assert!(
+            used <= max,
+            "attempts_used must never exceed max_attempts: {job:?}"
+        );
+    }
+
+    daemon.shutdown_and_wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,432 @@
+//! A minimal HTTP/1.x request parser and response writer — just enough
+//! for the `epic-serve` daemon to speak to curl, browsers, and a
+//! Prometheus scraper in the offline container (no hyper, same
+//! philosophy as the hand-rolled [`crate::json`]).
+//!
+//! Scope (deliberate): `HTTP/1.0`–`HTTP/1.1` request lines, header
+//! fields, and a `Content-Length` body. No chunked transfer encoding,
+//! no keep-alive (every response carries `Connection: close`), no TLS.
+//! Every limit is **strict and enforced while reading**, so a hostile
+//! or broken client can neither balloon memory (oversized request
+//! lines, header floods, giant bodies) nor wedge the parser: malformed
+//! input always comes back as an [`HttpError`] that maps to a 4xx/5xx
+//! status via [`HttpError::status`], never a panic.
+
+use std::io::{BufRead, Read, Write};
+
+/// Hard ceilings applied while a request is being read.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes in the request line (method + target + version).
+    pub max_request_line: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+    /// Maximum bytes in one header line.
+    pub max_header_line: usize,
+    /// Maximum declared `Content-Length`.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_headers: 64,
+            max_header_line: 8 * 1024,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be parsed. [`HttpError::status`] maps each
+/// variant to the response status the server should send back (where a
+/// response is possible at all).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection before sending any request byte —
+    /// a clean close, not a protocol error (no response owed).
+    Closed,
+    /// Syntactically invalid request (bad request line, bad header,
+    /// truncated body, conflicting `Content-Length`, ...) → 400.
+    Malformed(String),
+    /// Request line or a header line exceeded its byte limit → 431.
+    LineTooLong,
+    /// More header fields than [`Limits::max_headers`] → 431.
+    TooManyHeaders,
+    /// Declared `Content-Length` exceeds [`Limits::max_body`] → 413.
+    BodyTooLarge,
+    /// A feature this parser deliberately does not speak (an HTTP
+    /// version other than 1.0/1.1, `Transfer-Encoding`) → 501.
+    Unsupported(String),
+    /// Socket-level I/O error (includes read timeouts) — no response.
+    Io(String),
+}
+
+impl HttpError {
+    /// The response status for this error, or `None` when the
+    /// connection is beyond responding (closed / I/O error).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => None,
+            HttpError::Malformed(_) => Some(400),
+            HttpError::LineTooLong | HttpError::TooManyHeaders => Some(431),
+            HttpError::BodyTooLarge => Some(413),
+            HttpError::Unsupported(_) => Some(501),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed before a request"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::LineTooLong => write!(f, "request or header line over the byte limit"),
+            HttpError::TooManyHeaders => write!(f, "too many header fields"),
+            HttpError::BodyTooLarge => write!(f, "declared body exceeds the limit"),
+            HttpError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, uppercase as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, e.g. `/jobs/3` (always starts with `/`).
+    pub target: String,
+    /// `HTTP/1.0` or `HTTP/1.1`.
+    pub version: String,
+    /// Header fields in receive order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (names are stored lowercased;
+    /// the first occurrence wins).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or a 400-mapping error.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::Malformed("body is not valid UTF-8".into()))
+    }
+
+    /// Reads and parses one request from `r` under `limits`.
+    ///
+    /// Enforcement happens *while reading*: a line is abandoned as soon
+    /// as it passes its cap, and the body is only ever read up to the
+    /// (already validated) declared length.
+    pub fn parse<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, HttpError> {
+        let line = match read_line_capped(r, limits.max_request_line)? {
+            None => return Err(HttpError::Closed),
+            Some(line) => line,
+        };
+        let mut parts = line.split(' ').filter(|p| !p.is_empty());
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if parts.next().is_none() => (m, t, v),
+            _ => {
+                return Err(HttpError::Malformed(format!(
+                    "request line is not 'METHOD target HTTP/x.y': {line:?}"
+                )))
+            }
+        };
+        if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+            return Err(HttpError::Malformed(format!("bad method token {method:?}")));
+        }
+        if !target.starts_with('/') {
+            return Err(HttpError::Malformed(format!(
+                "target must start with '/': {target:?}"
+            )));
+        }
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(HttpError::Unsupported(format!("version {version:?}")));
+        }
+        let mut headers: Vec<(String, String)> = Vec::new();
+        let mut content_length: Option<usize> = None;
+        loop {
+            let line = read_line_capped(r, limits.max_header_line)?
+                .ok_or_else(|| HttpError::Malformed("EOF inside the header block".into()))?;
+            if line.is_empty() {
+                break;
+            }
+            if headers.len() >= limits.max_headers {
+                return Err(HttpError::TooManyHeaders);
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line:?}")))?;
+            if name.is_empty() || !name.bytes().all(is_token_byte) {
+                return Err(HttpError::Malformed(format!("bad header name {name:?}")));
+            }
+            let name = name.to_ascii_lowercase();
+            let value = value.trim().to_string();
+            match name.as_str() {
+                "transfer-encoding" => {
+                    return Err(HttpError::Unsupported("transfer-encoding".into()))
+                }
+                "content-length" => {
+                    let n: usize = value.parse().map_err(|_| {
+                        HttpError::Malformed(format!("bad content-length {value:?}"))
+                    })?;
+                    if n > limits.max_body {
+                        return Err(HttpError::BodyTooLarge);
+                    }
+                    // A repeated Content-Length must agree with itself.
+                    if content_length.is_some_and(|prev| prev != n) {
+                        return Err(HttpError::Malformed(
+                            "conflicting content-length headers".into(),
+                        ));
+                    }
+                    content_length = Some(n);
+                }
+                _ => {}
+            }
+            headers.push((name, value));
+        }
+        let mut body = vec![0u8; content_length.unwrap_or(0)];
+        if !body.is_empty() {
+            r.read_exact(&mut body).map_err(|e| match e.kind() {
+                std::io::ErrorKind::UnexpectedEof => {
+                    HttpError::Malformed("body shorter than content-length".into())
+                }
+                _ => HttpError::Io(e.to_string()),
+            })?;
+        }
+        Ok(Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            version: version.to_string(),
+            headers,
+            body,
+        })
+    }
+}
+
+/// RFC 7230 `tchar` (the subset we accept in header names).
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'!' | b'#' | b'$' | b'%')
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line of at most `cap`
+/// bytes. `Ok(None)` = clean EOF before any byte. The read stops at
+/// `cap + 1` bytes, so an unbounded line cannot balloon memory.
+fn read_line_capped<R: BufRead>(r: &mut R, cap: usize) -> Result<Option<String>, HttpError> {
+    let mut buf: Vec<u8> = Vec::new();
+    let n = r
+        .by_ref()
+        .take(cap as u64 + 1)
+        .read_until(b'\n', &mut buf)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') {
+        return Err(if buf.len() > cap {
+            HttpError::LineTooLong
+        } else {
+            HttpError::Malformed("line truncated mid-stream".into())
+        });
+    }
+    buf.pop();
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(Some(s)),
+        Err(_) => Err(HttpError::Malformed("non-UTF-8 bytes in a line".into())),
+    }
+}
+
+/// The reason phrase for the status codes this workspace emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response under construction. [`Response::write_to`] renders the
+/// status line, the headers, `Content-Length`, and `Connection: close`
+/// (this server speaks one request per connection, by design).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (content-length/connection are added on write).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with `status`.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status).with_content("text/plain; charset=utf-8", body.into().into_bytes())
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status).with_content("application/json", body.into().into_bytes())
+    }
+
+    /// A `text/html` response.
+    pub fn html(status: u16, body: impl Into<String>) -> Response {
+        Response::new(status).with_content("text/html; charset=utf-8", body.into().into_bytes())
+    }
+
+    /// Sets the body and its content type.
+    pub fn with_content(mut self, content_type: &str, body: Vec<u8>) -> Response {
+        self.headers
+            .push(("content-type".to_string(), content_type.to_string()));
+        self.body = body;
+        self
+    }
+
+    /// Appends a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The error response owed for `e`, or `None` when the connection
+    /// is past responding.
+    pub fn for_error(e: &HttpError) -> Option<Response> {
+        e.status().map(|s| Response::text(s, format!("{e}\n")))
+    }
+
+    /// Writes the full response (status line, headers, body) to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "content-length: {}\r\n", self.body.len())?;
+        write!(w, "connection: close\r\n\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+
+    /// The response as bytes (what `write_to` would emit).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out).expect("Vec write cannot fail");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_bytes(bytes: &[u8]) -> Result<Request, HttpError> {
+        Request::parse(&mut std::io::BufReader::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse_bytes(b"GET /jobs/3 HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/jobs/3");
+        assert_eq!(req.version, "HTTP/1.1");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let req = parse_bytes(
+            b"POST /jobs HTTP/1.1\r\ncontent-length: 19\r\n\r\n{\"experiment\": \"x\"}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body_str().unwrap(), "{\"experiment\": \"x\"}");
+    }
+
+    #[test]
+    fn bare_lf_lines_parse_too() {
+        let req = parse_bytes(b"GET / HTTP/1.0\nHost: y\n\n").unwrap();
+        assert_eq!(req.version, "HTTP/1.0");
+        assert_eq!(req.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_closed_not_malformed() {
+        assert_eq!(parse_bytes(b"").unwrap_err(), HttpError::Closed);
+    }
+
+    #[test]
+    fn limits_map_to_responses() {
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+        assert_eq!(
+            parse_bytes(long_target.as_bytes()).unwrap_err(),
+            HttpError::LineTooLong
+        );
+        let flood: String = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            (0..70).map(|i| format!("h{i}: v\r\n")).collect::<String>()
+        );
+        assert_eq!(
+            parse_bytes(flood.as_bytes()).unwrap_err(),
+            HttpError::TooManyHeaders
+        );
+        assert_eq!(
+            parse_bytes(b"POST / HTTP/1.1\r\ncontent-length: 9999999\r\n\r\n").unwrap_err(),
+            HttpError::BodyTooLarge
+        );
+        assert_eq!(HttpError::LineTooLong.status(), Some(431));
+        assert_eq!(HttpError::BodyTooLarge.status(), Some(413));
+        assert_eq!(HttpError::Closed.status(), None);
+    }
+
+    #[test]
+    fn response_renders_status_line_headers_and_body() {
+        let bytes = Response::json(200, "{\"ok\": true}").to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("content-length: 12\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\": true}"));
+    }
+
+    #[test]
+    fn error_responses_exist_exactly_when_a_status_does() {
+        for (err, want) in [
+            (HttpError::Malformed("x".into()), Some(400)),
+            (HttpError::Unsupported("y".into()), Some(501)),
+            (HttpError::Io("z".into()), None),
+            (HttpError::Closed, None),
+        ] {
+            assert_eq!(Response::for_error(&err).map(|r| r.status), want);
+        }
+    }
+}

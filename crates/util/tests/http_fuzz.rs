@@ -1,0 +1,197 @@
+//! Deterministic fuzzing for `epic_util::http`, in the style of
+//! `json_fuzz.rs`: fixed seeds so failures reproduce exactly.
+//!
+//! Three properties:
+//!
+//! 1. **Error, not panic**: a hand-written malformed-request corpus
+//!    (truncated request lines, oversized headers, bad Content-Length,
+//!    pipelined garbage) plus seeded byte-level mutations of valid
+//!    requests must return `Err` or a valid `Request` — never panic,
+//!    never hang (every read is capped), and every error either maps to
+//!    a 4xx/5xx response or marks the connection dead.
+//! 2. **Happy-path round trip**: generated request bytes parse back to
+//!    the method/target/headers/body that produced them.
+//! 3. **Connection hygiene**: leftover bytes after one parsed request
+//!    (pipelining) are untouched, and a response renders with exactly
+//!    one header block and an accurate `content-length`.
+
+use epic_util::http::{HttpError, Limits, Request, Response};
+use epic_util::XorShift64;
+use std::io::BufReader;
+
+fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+    Request::parse(&mut BufReader::new(bytes), &Limits::default())
+}
+
+#[test]
+fn malformed_corpus_errors_without_panic() {
+    let oversized_header = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "v".repeat(10_000));
+    let header_flood = format!(
+        "GET / HTTP/1.1\r\n{}\r\n",
+        (0..200).map(|i| format!("h{i}: v\r\n")).collect::<String>()
+    );
+    let corpus: Vec<&[u8]> = vec![
+        // Truncated request lines.
+        b"",
+        b"G",
+        b"GET",
+        b"GET /",
+        b"GET / HTTP/1.1",
+        b"GET / HTTP/1.1\r",
+        b"GET / HTTP/1.1\r\nHost: x",
+        // Malformed request lines.
+        b"\r\n\r\n",
+        b" / HTTP/1.1\r\n\r\n",
+        b"GET  HTTP/1.1\r\n\r\n",
+        b"get / HTTP/1.1\r\n\r\n",
+        b"GET / HTTP/1.1 extra\r\n\r\n",
+        b"GET noslash HTTP/1.1\r\n\r\n",
+        b"GET / HTTP/2.0\r\n\r\n",
+        b"GET / FTP/1.1\r\n\r\n",
+        b"\xff\xfe GET / HTTP/1.1\r\n\r\n",
+        // Bad headers.
+        b"GET / HTTP/1.1\r\nno colon\r\n\r\n",
+        b"GET / HTTP/1.1\r\n: empty\r\n\r\n",
+        b"GET / HTTP/1.1\r\nbad name: v\r\n\r\n",
+        b"GET / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\nbody",
+        // Bad Content-Length.
+        b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+        b"POST / HTTP/1.1\r\ncontent-length: -1\r\n\r\n",
+        b"POST / HTTP/1.1\r\ncontent-length: 1e3\r\n\r\n",
+        b"POST / HTTP/1.1\r\ncontent-length: 99999999999999999999\r\n\r\n",
+        b"POST / HTTP/1.1\r\ncontent-length: 10000000\r\n\r\n",
+        b"POST / HTTP/1.1\r\ncontent-length: 5\r\ncontent-length: 6\r\n\r\nhello!",
+        // Body shorter than declared.
+        b"POST / HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort",
+        // Pipelined garbage after the header block of a bodyless request
+        // (must parse the first request and leave the rest alone).
+        oversized_header.as_bytes(),
+        header_flood.as_bytes(),
+    ];
+    for (i, bytes) in corpus.iter().enumerate() {
+        match parse(bytes) {
+            Ok(req) => {
+                // The only corpus entries allowed to parse are the
+                // pipelined ones; anything else succeeding is a miss.
+                assert!(
+                    req.method == "GET" && req.target == "/",
+                    "corpus[{i}] unexpectedly parsed: {req:?}"
+                );
+            }
+            Err(e) => {
+                // Every error must map to a response or a dead socket.
+                let status = e.status();
+                assert!(
+                    status.is_none() || (400..=599).contains(&status.unwrap()),
+                    "corpus[{i}]: error {e:?} maps to non-error status {status:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_mutations_never_panic() {
+    let valid: &[u8] =
+        b"POST /jobs HTTP/1.1\r\nhost: localhost\r\ncontent-length: 19\r\n\r\n{\"experiment\": \"x\"}";
+    let mut rng = XorShift64::new(0x5eed_4000);
+    for _ in 0..1600 {
+        let mut bytes = valid.to_vec();
+        match rng.next_bounded(3) {
+            // Flip a byte.
+            0 => {
+                let i = rng.next_bounded(bytes.len() as u64) as usize;
+                bytes[i] ^= 1 << rng.next_bounded(8);
+            }
+            // Truncate.
+            1 => bytes.truncate(rng.next_bounded(bytes.len() as u64) as usize),
+            // Duplicate a random slice in place (shifts the framing).
+            _ => {
+                let i = rng.next_bounded(bytes.len() as u64) as usize;
+                let j = i + rng.next_bounded((bytes.len() - i) as u64 + 1) as usize;
+                let slice = bytes[i..j].to_vec();
+                let at = rng.next_bounded(bytes.len() as u64) as usize;
+                for (k, b) in slice.into_iter().enumerate() {
+                    bytes.insert(at + k, b);
+                }
+            }
+        }
+        // Any outcome but a panic is fine; statuses must stay 4xx/5xx.
+        if let Err(e) = parse(&bytes) {
+            if let Some(s) = e.status() {
+                assert!((400..=599).contains(&s), "{e:?} -> {s}");
+            }
+        }
+    }
+}
+
+/// Deterministically generated well-formed requests round-trip through
+/// the parser field by field.
+#[test]
+fn generated_requests_round_trip() {
+    let mut rng = XorShift64::new(0x5eed_4001);
+    for i in 0..300 {
+        let method = ["GET", "POST", "DELETE", "PUT"][rng.next_bounded(4) as usize];
+        let target = format!("/seg{}/{}", rng.next_bounded(100), rng.next_bounded(1000));
+        let n_headers = rng.next_bounded(6) as usize;
+        let headers: Vec<(String, String)> = (0..n_headers)
+            .map(|k| (format!("x-h{k}"), format!("value-{}", rng.next_bounded(50))))
+            .collect();
+        let body: Vec<u8> = (0..rng.next_bounded(64))
+            .map(|_| rng.next_bounded(256) as u8)
+            .collect();
+        let mut bytes = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+        for (k, v) in &headers {
+            bytes.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        if !body.is_empty() {
+            bytes.extend_from_slice(format!("content-length: {}\r\n", body.len()).as_bytes());
+        }
+        bytes.extend_from_slice(b"\r\n");
+        bytes.extend_from_slice(&body);
+        let req = parse(&bytes).unwrap_or_else(|e| panic!("iter {i}: valid request rejected: {e}"));
+        assert_eq!(req.method, method, "iter {i}");
+        assert_eq!(req.target, target, "iter {i}");
+        assert_eq!(req.body, body, "iter {i}");
+        for (k, v) in &headers {
+            assert_eq!(req.header(k), Some(v.as_str()), "iter {i}: header {k}");
+        }
+    }
+}
+
+/// After one request is parsed, the reader sits exactly at the start of
+/// whatever follows — pipelined bytes are neither consumed nor corrupted.
+#[test]
+fn pipelined_bytes_stay_in_the_reader() {
+    let bytes: &[u8] =
+        b"POST /a HTTP/1.1\r\ncontent-length: 3\r\n\r\nabcGET /next HTTP/1.1\r\n\r\ntrailing junk";
+    let mut reader = BufReader::new(bytes);
+    let first = Request::parse(&mut reader, &Limits::default()).unwrap();
+    assert_eq!(first.target, "/a");
+    assert_eq!(first.body, b"abc");
+    // The second request is intact in the stream.
+    let second = Request::parse(&mut reader, &Limits::default()).unwrap();
+    assert_eq!(second.method, "GET");
+    assert_eq!(second.target, "/next");
+    // And garbage after it errors without panicking.
+    assert!(Request::parse(&mut reader, &Limits::default()).is_err());
+}
+
+/// Response rendering: one header block, accurate `content-length`, and
+/// a parseable status line — for every status the server emits.
+#[test]
+fn responses_render_well_formed() {
+    for status in [200u16, 202, 400, 404, 405, 413, 431, 501, 503] {
+        let body = format!("status {status} body");
+        let text = String::from_utf8(Response::text(status, body.clone()).to_bytes()).unwrap();
+        assert!(
+            text.starts_with(&format!("HTTP/1.1 {status} ")),
+            "bad status line: {text}"
+        );
+        let (head, got_body) = text.split_once("\r\n\r\n").expect("one header block");
+        assert_eq!(got_body, body);
+        assert!(!got_body.contains("\r\n\r\n"), "double header block");
+        assert!(head.contains(&format!("content-length: {}", body.len())));
+        assert!(head.contains("connection: close"));
+    }
+}
