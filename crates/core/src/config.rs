@@ -82,6 +82,20 @@ impl FreeMode {
     pub fn is_amortized(&self) -> bool {
         matches!(self, FreeMode::Amortized { .. })
     }
+
+    /// Parses a mode name as runbooks spell it: `"batch"`,
+    /// `"amortized"`/`"af"` (per_op 1), `"background"`/`"bg"`,
+    /// `"pooled"`/`"pool"`, `"adaptive"`/`"adapt"`.
+    pub fn parse(s: &str) -> Option<FreeMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "batch" => Some(FreeMode::Batch),
+            "amortized" | "af" => Some(FreeMode::Amortized { per_op: 1 }),
+            "background" | "bg" => Some(FreeMode::Background),
+            "pooled" | "pool" => Some(FreeMode::Pooled),
+            "adaptive" | "adapt" => Some(FreeMode::Adaptive),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration shared by every scheme.
@@ -246,6 +260,23 @@ mod tests {
             // bag_cap is unaffected by the AF knob.
             assert_ne!(cfg.bag_cap, 123456);
         }
+    }
+
+    #[test]
+    fn free_mode_parse_round_trips_suffix_spellings() {
+        assert_eq!(FreeMode::parse("batch"), Some(FreeMode::Batch));
+        assert_eq!(
+            FreeMode::parse("amortized"),
+            Some(FreeMode::Amortized { per_op: 1 })
+        );
+        assert_eq!(
+            FreeMode::parse("af"),
+            Some(FreeMode::Amortized { per_op: 1 })
+        );
+        assert_eq!(FreeMode::parse("bg"), Some(FreeMode::Background));
+        assert_eq!(FreeMode::parse(" Pool "), Some(FreeMode::Pooled));
+        assert_eq!(FreeMode::parse("adapt"), Some(FreeMode::Adaptive));
+        assert_eq!(FreeMode::parse("nope"), None);
     }
 
     #[test]

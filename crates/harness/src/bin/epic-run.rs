@@ -3,7 +3,10 @@
 //! merge sharded results.
 //!
 //! ```text
-//! epic-run list [--shard K/N]        # show experiment ids (optionally one shard)
+//! epic-run list [--shard K/N]        # id + cost + origin (optionally one shard)
+//! epic-run list --json               # machine-readable registry (ids, costs,
+//!                                    #   origins, seeds, provenance hashes)
+//! epic-run list --origin runbook     # only runbook-generated scenario cells
 //! epic-run fig11a_experiment1        # run one experiment in-process
 //! epic-run all                       # the full evaluation, serial
 //! epic-run check                     # run everything + evaluate every oracle
@@ -12,8 +15,10 @@
 //! epic-run check all --shard 2/3 -j 4
 //! epic-run check all -j 4 --events results/events.ndjson  # NDJSON progress
 //! epic-run merge-shapes a.json b.json c.json   # fan shards back in
+//! epic-run replay <hash> [--against results/SHAPES.json]  # re-run by provenance
 //! epic-run bench-diff results/BENCH_handle_baseline.json \
 //!          results/BENCH_handle.json --max-regress 15%
+//! EPIC_RUNBOOK=runbooks/smoke.json epic-run check all -j 2  # scenario sweep
 //! EPIC_MILLIS=5000 EPIC_TRIALS=3 epic-run check all -j $(nproc)  # paper-scale
 //! ```
 //!
@@ -25,13 +30,23 @@
 //! engine; `epic-run <id>` stays serial and in-process, so
 //! single-experiment debugging is unchanged.
 
-use epic_harness::experiments::{all_experiments, experiment_by_name, run_by_name, Experiment};
+use epic_harness::experiments::{
+    all_experiments, experiment_by_name, run_by_name, Experiment, ExperimentRun, Origin,
+};
 use epic_harness::oracle::{evaluate, oracle_for, render_verdict_table};
+use epic_harness::scenario;
 use epic_harness::shapes::{RunnerMeta, ShapeRecord, ShapesDoc};
 use epic_harness::{benchdiff, runner};
 use std::time::{Duration, Instant};
 
 fn main() {
+    // A broken EPIC_RUNBOOK is a hard startup error for every subcommand:
+    // silently running without the generated cells would make a sharded
+    // `check` pass while skipping the scenarios the caller asked for.
+    if let Err(e) = scenario::load_active_runbook() {
+        eprintln!("epic-run: {e}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let rest: Vec<&str> = args.iter().skip(1).map(String::as_str).collect();
     match args.first().map(String::as_str) {
@@ -39,12 +54,13 @@ fn main() {
         Some("all") => {
             for e in all_experiments() {
                 println!("\n##### {} #####", e.id);
-                (e.run)();
+                e.execute();
             }
         }
         Some("check") => std::process::exit(run_check(&rest)),
         Some("merge-shapes") => std::process::exit(run_merge(&rest)),
         Some("bench-diff") => std::process::exit(run_bench_diff(&rest)),
+        Some("replay") => std::process::exit(run_replay(&rest)),
         Some("--one") => std::process::exit(run_one(&rest)),
         Some(name) => {
             if run_by_name(name).is_none() {
@@ -78,13 +94,15 @@ fn parse_shard(s: &str) -> Result<(usize, usize), String> {
     Ok((k, n))
 }
 
-/// Options shared by `list` and `check`.
+/// Options shared by `list` and `check` (`--json` is list-only).
 struct CheckOpts {
     ids: Vec<String>,
     jobs: usize,
     shard: Option<(usize, usize)>,
     timeout: Duration,
     events: Option<std::path::PathBuf>,
+    json: bool,
+    origin: Option<String>,
 }
 
 fn parse_check_opts(rest: &[&str]) -> Result<CheckOpts, String> {
@@ -95,6 +113,8 @@ fn parse_check_opts(rest: &[&str]) -> Result<CheckOpts, String> {
         shard: None,
         timeout: Duration::from_secs(default_timeout),
         events: None,
+        json: false,
+        origin: None,
     };
     let mut it = rest.iter();
     while let Some(&arg) = it.next() {
@@ -120,6 +140,16 @@ fn parse_check_opts(rest: &[&str]) -> Result<CheckOpts, String> {
                     v.parse::<u64>()
                         .map_err(|_| format!("bad --timeout-secs '{v}'"))?,
                 );
+            }
+            "--json" => opts.json = true,
+            "--origin" => {
+                let v = value_of(arg)?;
+                if v != "builtin" && v != "runbook" {
+                    return Err(format!(
+                        "bad --origin '{v}' (expected 'builtin' or 'runbook')"
+                    ));
+                }
+                opts.origin = Some(v.to_string());
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
             id => opts.ids.push(id.to_string()),
@@ -153,7 +183,13 @@ fn select(opts: &CheckOpts) -> Result<Vec<Experiment>, i32> {
     };
     if let Some((k, n)) = opts.shard {
         let members = runner::shard_members(k, n);
-        selected.retain(|e| members.contains(e.id));
+        selected.retain(|e| members.contains(&e.id));
+    }
+    if let Some(origin) = opts.origin.as_deref() {
+        selected.retain(|e| match &e.origin {
+            Origin::Builtin => origin == "builtin",
+            Origin::Runbook { .. } => origin == "runbook",
+        });
     }
     Ok(selected)
 }
@@ -170,14 +206,52 @@ fn run_list(rest: &[&str]) -> i32 {
         Ok(s) => s,
         Err(code) => return code,
     };
+    if opts.json {
+        println!("{}", registry_json(&selected));
+        return 0;
+    }
     match opts.shard {
         Some((k, n)) => println!("experiments in shard {k}/{n}:"),
         None => println!("experiments (pass an id, 'all', or 'check [id...|all]'):"),
     }
+    let width = selected.iter().map(|e| e.id.len()).max().unwrap_or(0);
     for e in selected {
-        println!("  {}", e.id);
+        println!(
+            "  {:<width$}  cost {:>3}  {}",
+            e.id,
+            e.cost,
+            e.origin.label()
+        );
     }
     0
+}
+
+/// The selection as a JSON array: id, cost, origin, and the provenance
+/// hash each entry would stamp if run right now; scenario cells also
+/// carry their derived seed. Every field is an id-safe/hex token, so the
+/// literal formatting below needs no escaping. Two processes with the
+/// same runbook, toolchain, git rev, and `EPIC_*` environment must
+/// produce byte-identical output (pinned by the `scenario_cli` test).
+fn registry_json(selected: &[Experiment]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in selected.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"id\": \"{}\", \"cost\": {}, \"origin\": \"{}\", \"provenance\": \"{}\"",
+            e.id,
+            e.cost,
+            e.origin.label(),
+            scenario::provenance_hash(e)
+        ));
+        if let ExperimentRun::Scenario(cell) = &e.run {
+            out.push_str(&format!(", \"seed\": {}", cell.seed));
+        }
+        out.push('}');
+    }
+    out.push_str("\n]");
+    out
 }
 
 /// Runs the selected experiments (in-process when `-j 1`, as child
@@ -192,6 +266,10 @@ fn run_check(rest: &[&str]) -> i32 {
             return 2;
         }
     };
+    if opts.json {
+        eprintln!("--json only applies to `epic-run list`");
+        return 2;
+    }
     let selected = match select(&opts) {
         Ok(s) => s,
         Err(code) => return code,
@@ -276,7 +354,7 @@ fn check_serial(
     let mut records = Vec::new();
     for e in selected {
         println!("\n##### check {} #####", e.id);
-        let oracle = oracle_for(e.id)
+        let oracle = oracle_for(&e.id)
             .unwrap_or_else(|| panic!("experiment '{}' has no registered oracle", e.id));
         emit(PoolEvent {
             kind: EventKind::Started,
@@ -290,7 +368,7 @@ fn check_serial(
             will_retry: None,
         });
         let started = Instant::now();
-        let result = (e.run)();
+        let result = e.execute();
         let duration_ms = started.elapsed().as_secs_f64() * 1e3;
         let report = evaluate(&oracle, &result);
         for o in &report.outcomes {
@@ -353,7 +431,7 @@ fn run_one(rest: &[&str]) -> i32 {
     let oracle =
         oracle_for(id).unwrap_or_else(|| panic!("experiment '{id}' has no registered oracle"));
     let started = Instant::now();
-    let result = (e.run)();
+    let result = e.execute();
     let duration_ms = started.elapsed().as_secs_f64() * 1e3;
     let report = evaluate(&oracle, &result);
     for o in &report.outcomes {
@@ -414,6 +492,102 @@ fn run_merge(rest: &[&str]) -> i32 {
             2
         }
     }
+}
+
+/// `replay <hash> [--against <SHAPES.json>]`: find the registry entry
+/// whose provenance hash matches, re-run it, and confirm the fresh run
+/// stamps the same hash. With `--against`, also diff the deterministic
+/// single-thread counters (`det/*` metrics) against the recorded row.
+/// Exit 0 = identical, 1 = mismatch, 2 = hash not found / bad usage.
+fn run_replay(rest: &[&str]) -> i32 {
+    let (hash, against) = match rest {
+        [hash] => (*hash, None),
+        [hash, "--against", path] => (*hash, Some(*path)),
+        _ => {
+            eprintln!("usage: epic-run replay <provenance-hash> [--against <SHAPES.json>]");
+            return 2;
+        }
+    };
+    let registry = all_experiments();
+    let Some(e) = registry
+        .iter()
+        .find(|e| scenario::provenance_hash(e) == hash)
+    else {
+        eprintln!(
+            "replay: no registry entry reproduces provenance hash '{hash}'.\n\
+             The hash covers the experiment id, runbook content, toolchain, git revision,\n\
+             and EPIC_* overrides — recreate that environment (same checkout, same\n\
+             EPIC_RUNBOOK file, same EPIC_* variables) and retry. `epic-run list --json`\n\
+             shows the hash every current entry would stamp."
+        );
+        return 2;
+    };
+    println!(
+        "replay: {} (origin {}, provenance {hash})",
+        e.id,
+        e.origin.label()
+    );
+    let result = e.execute();
+    let fresh = result.provenance.clone().unwrap_or_default();
+    if fresh != hash {
+        eprintln!("replay: re-run stamped {fresh}, expected {hash} — environment drifted");
+        return 1;
+    }
+    let det: Vec<(&String, &f64)> = result
+        .metrics()
+        .iter()
+        .filter(|(k, _)| k.starts_with("det/"))
+        .collect();
+    for (k, v) in &det {
+        println!("  {k} = {v}");
+    }
+    let Some(path) = against else {
+        println!("replay: {} reproduced provenance {hash}", e.id);
+        return 0;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("replay: cannot read {path}: {err}");
+            return 2;
+        }
+    };
+    let doc = match ShapesDoc::parse(&text) {
+        Ok(d) => d,
+        Err(err) => {
+            eprintln!("replay: {path}: {err}");
+            return 2;
+        }
+    };
+    let recorded = doc.records.iter().find_map(|r| {
+        let v = epic_util::json::Json::parse(&r.result_json).ok()?;
+        (v.get("provenance").and_then(epic_util::json::Json::as_str) == Some(hash)).then_some(v)
+    });
+    let Some(recorded) = recorded else {
+        eprintln!("replay: no record in {path} carries provenance {hash}");
+        return 2;
+    };
+    let mut mismatches = 0;
+    for (k, v) in &det {
+        let old = recorded
+            .get("metrics")
+            .and_then(|m| m.get(k))
+            .and_then(epic_util::json::Json::as_f64);
+        if old != Some(**v) {
+            eprintln!("replay: {k}: recorded {old:?}, re-run {v}");
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("replay: {mismatches} deterministic counter(s) diverged");
+        return 1;
+    }
+    println!(
+        "replay: {} matches {path} — {} det/* counters identical, same provenance",
+        e.id,
+        det.len()
+    );
+    0
 }
 
 /// `bench-diff <baseline.json> <current.json> [--max-regress P%]`.

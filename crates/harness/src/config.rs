@@ -6,6 +6,45 @@ use epic_smr::{FreeMode, SmrKind};
 use epic_util::topology::{env_u64, env_usize};
 use epic_util::Topology;
 
+/// How workload keys are drawn from the key range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Uniform over `[0, key_range)` — the paper's workload.
+    Uniform,
+    /// Zipf-skewed with parameter `theta` in `[0, 1)` (see
+    /// [`epic_util::Zipfian`]); ranks are scattered over the key space.
+    Zipf {
+        /// Skew: 0 ≈ uniform, 0.99 = the YCSB hot-spot default.
+        theta: f64,
+    },
+}
+
+impl KeyDist {
+    /// A short id token (`"u"`, `"z099"`), used in generated scenario ids.
+    pub fn token(&self) -> String {
+        match self {
+            KeyDist::Uniform => "u".to_string(),
+            KeyDist::Zipf { theta } => format!("z{:03}", (theta * 100.0).round() as u32),
+        }
+    }
+}
+
+/// When operations arrive at the structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Back-to-back operations (the paper's workload).
+    Steady,
+    /// Duty-cycled bursts: each worker performs `on_ops` operations,
+    /// then idles `off_micros` before the next burst. Op-count based
+    /// (not timer based) so budgeted trials stay deterministic.
+    Bursty {
+        /// Operations per burst.
+        on_ops: u64,
+        /// Idle gap between bursts, in microseconds.
+        off_micros: u64,
+    },
+}
+
 /// Everything one trial needs.
 #[derive(Clone)]
 pub struct WorkloadCfg {
@@ -61,6 +100,19 @@ pub struct WorkloadCfg {
     /// bypassed entirely, so a single-threaded trial with a fixed seed is
     /// bit-for-bit reproducible (the determinism the oracle CI relies on).
     pub op_budget: Option<u64>,
+    /// Trial seed, XOR-mixed into every worker's per-thread RNG seed.
+    /// 0 (the default) reproduces the pre-scenario per-thread streams
+    /// bit for bit; scenario cells derive a distinct value from the
+    /// runbook seed (see `crate::scenario`).
+    pub seed: u64,
+    /// Key distribution (uniform or Zipf-skewed).
+    pub key_dist: KeyDist,
+    /// Arrival pattern (steady or duty-cycled bursts).
+    pub arrival: Arrival,
+    /// Handle churn: every worker detaches its [`epic_smr::SmrHandle`]
+    /// and re-registers after this many operations — the register/detach
+    /// storm scenario the hand-coded experiments cannot express.
+    pub churn_every_ops: Option<u64>,
 }
 
 impl WorkloadCfg {
@@ -89,6 +141,10 @@ impl WorkloadCfg {
             update_ratio: 1.0,
             stall: None,
             op_budget: None,
+            seed: 0,
+            key_dist: KeyDist::Uniform,
+            arrival: Arrival::Steady,
+            churn_every_ops: None,
         }
     }
 
@@ -96,6 +152,30 @@ impl WorkloadCfg {
     /// slice (see [`WorkloadCfg::op_budget`]).
     pub fn with_op_budget(mut self, ops: u64) -> Self {
         self.op_budget = Some(ops);
+        self
+    }
+
+    /// Sets the trial seed (see [`WorkloadCfg::seed`]).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the key distribution.
+    pub fn with_key_dist(mut self, dist: KeyDist) -> Self {
+        self.key_dist = dist;
+        self
+    }
+
+    /// Sets the arrival pattern.
+    pub fn with_arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Enables handle churn every `ops` operations.
+    pub fn with_churn(mut self, ops: u64) -> Self {
+        self.churn_every_ops = Some(ops.max(1));
         self
     }
 
@@ -221,6 +301,40 @@ mod tests {
         }
         let cfg = cfg.with_af_backlog_cap(99);
         assert_eq!(cfg.af_backlog_cap, 99);
+    }
+
+    #[test]
+    fn scenario_knobs_default_to_paper_workload() {
+        let cfg = WorkloadCfg::new(TreeKind::Ab, SmrKind::Debra, 2);
+        assert_eq!(cfg.seed, 0);
+        assert_eq!(cfg.key_dist, KeyDist::Uniform);
+        assert_eq!(cfg.arrival, Arrival::Steady);
+        assert_eq!(cfg.churn_every_ops, None);
+        let cfg = cfg
+            .with_seed(7)
+            .with_key_dist(KeyDist::Zipf { theta: 0.99 })
+            .with_arrival(Arrival::Bursty {
+                on_ops: 256,
+                off_micros: 50,
+            })
+            .with_churn(0);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.key_dist, KeyDist::Zipf { theta: 0.99 });
+        // churn 0 clamps to 1 (detach storms, not a division by zero).
+        assert_eq!(cfg.churn_every_ops, Some(1));
+    }
+
+    #[test]
+    fn key_dist_tokens_are_id_safe() {
+        assert_eq!(KeyDist::Uniform.token(), "u");
+        assert_eq!(KeyDist::Zipf { theta: 0.99 }.token(), "z099");
+        assert_eq!(KeyDist::Zipf { theta: 0.5 }.token(), "z050");
+        for dist in [KeyDist::Uniform, KeyDist::Zipf { theta: 0.75 }] {
+            assert!(dist
+                .token()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
     }
 
     #[test]

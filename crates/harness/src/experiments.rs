@@ -1425,28 +1425,84 @@ pub fn adaptive_tracking() -> ExperimentResult {
 /// result.
 pub type ExperimentFn = fn() -> ExperimentResult;
 
-/// One registry entry: the experiment's stable id, its entry point, and
-/// a relative cost hint for schedulers.
-#[derive(Clone, Copy)]
+/// How a registry entry runs: a hand-coded paper experiment, or a
+/// runbook-generated scenario cell (see [`crate::scenario`]).
+#[derive(Clone)]
+pub enum ExperimentRun {
+    /// A hand-coded experiment function (the paper tables/figures).
+    Builtin(ExperimentFn),
+    /// A scenario cell generated from the active `EPIC_RUNBOOK`.
+    Scenario(Box<crate::scenario::Cell>),
+}
+
+/// Where a registry entry came from — `epic-run list` prints it, and
+/// `--origin` filters on it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Origin {
+    /// Compiled into the harness (paper order).
+    Builtin,
+    /// Generated from a runbook file named by `EPIC_RUNBOOK`.
+    Runbook {
+        /// The runbook's `name` field.
+        runbook: String,
+    },
+}
+
+impl Origin {
+    /// Display label: `"builtin"` or `"runbook:<name>"`.
+    pub fn label(&self) -> String {
+        match self {
+            Origin::Builtin => "builtin".to_string(),
+            Origin::Runbook { runbook } => format!("runbook:{runbook}"),
+        }
+    }
+}
+
+/// One registry entry: the experiment's stable id, its entry point, a
+/// relative cost hint for schedulers, and its origin.
+#[derive(Clone)]
 pub struct Experiment {
     /// The stable experiment id (what `epic-run` accepts).
-    pub id: &'static str,
+    pub id: String,
     /// The entry point.
-    pub run: ExperimentFn,
+    pub run: ExperimentRun,
     /// Relative cost hint: roughly how many timed trial slices the
     /// experiment runs at default scale (sweep length ≈ 5). The process
     /// runner ([`crate::runner`]) uses it for LPT slot assignment, and
     /// the shard partitioner balances shards by it. Only the *ordering*
     /// matters; the units are deliberately coarse.
     pub cost: u32,
+    /// Builtin or runbook-generated.
+    pub origin: Origin,
 }
 
-/// Every experiment, in paper order.
+impl Experiment {
+    /// Runs the experiment and stamps the result with its provenance
+    /// hash — the single execution path for builtins and scenario cells
+    /// alike, so every `SHAPES.json` row is replayable from its hash
+    /// (see [`crate::scenario::provenance_hash`]).
+    pub fn execute(&self) -> ExperimentResult {
+        let mut result = match &self.run {
+            ExperimentRun::Builtin(f) => f(),
+            ExperimentRun::Scenario(cell) => crate::scenario::run_cell(cell),
+        };
+        result.provenance = Some(crate::scenario::provenance_hash(self));
+        result
+    }
+}
+
+/// Every experiment: the builtins in paper order, then any cells
+/// generated from the active `EPIC_RUNBOOK` (in runbook order).
 pub fn all_experiments() -> Vec<Experiment> {
     fn e(id: &'static str, run: ExperimentFn, cost: u32) -> Experiment {
-        Experiment { id, run, cost }
+        Experiment {
+            id: id.to_string(),
+            run: ExperimentRun::Builtin(run),
+            cost,
+            origin: Origin::Builtin,
+        }
     }
-    vec![
+    let mut all = vec![
         e("fig1_scaling", fig1_scaling, 20),
         e("table1_je_overhead", table1_je_overhead, 3),
         e("fig2_timeline_batch", fig2_timeline_batch, 2),
@@ -1487,7 +1543,9 @@ pub fn all_experiments() -> Vec<Experiment> {
         e("ablation_allocator_fix", ablation_allocator_fix, 3),
         e("ablation_ds_generality", ablation_ds_generality, 8),
         e("adaptive_tracking", adaptive_tracking, 35),
-    ]
+    ];
+    all.extend(crate::scenario::generated_experiments());
+    all
 }
 
 /// Looks up one registry entry by id.
@@ -1497,7 +1555,7 @@ pub fn experiment_by_name(name: &str) -> Option<Experiment> {
 
 /// Runs one experiment by id; `None` if the id is unknown.
 pub fn run_by_name(name: &str) -> Option<ExperimentResult> {
-    experiment_by_name(name).map(|e| (e.run)())
+    experiment_by_name(name).map(|e| e.execute())
 }
 
 #[cfg(test)]
@@ -1508,10 +1566,15 @@ mod tests {
     fn registry_is_complete_and_unique() {
         let all = all_experiments();
         assert!(all.len() >= 25, "expected the full experiment index");
-        let ids: std::collections::HashSet<_> = all.iter().map(|e| e.id).collect();
+        let ids: std::collections::HashSet<_> = all.iter().map(|e| e.id.as_str()).collect();
         assert_eq!(ids.len(), all.len(), "duplicate experiment ids");
         assert!(run_by_name("nonexistent_experiment").is_none());
         assert!(experiment_by_name("fig4_garbage").is_some());
+        // Builtins carry the builtin origin label.
+        assert!(all
+            .iter()
+            .filter(|e| matches!(e.run, ExperimentRun::Builtin(_)))
+            .all(|e| e.origin == Origin::Builtin && e.origin.label() == "builtin"));
     }
 
     #[test]

@@ -21,9 +21,15 @@
 //! | `EPIC_THREADS` | comma-separated thread counts for sweeps | powers of 2 up to 2×CPUs |
 //! | `EPIC_BAG_CAP` | limbo-bag capacity (paper: 32768) | 4096 |
 //! | `EPIC_RESULTS` | artifact output directory | `results/` |
+//! | `EPIC_RUNBOOK` | scenario runbook file generating `sc_*` experiments | unset |
 //! | `EPIC_JOB_TIMEOUT_SECS` | per-child timeout for `epic-run check -j N` | 600 |
 //! | `EPIC_JOB_LOG_KEEP` | run directories kept under `results/jobs/` | 10 |
 //! | `EPIC_QUEUE_COMPACT_LINES` | `epic-serve` queue-journal compaction threshold | 4096 |
+//!
+//! The authoritative reference for *every* `EPIC_*` variable (including
+//! the module-specific ones not listed here) is the README's
+//! "Environment reference" table, pinned by the `env_reference`
+//! integration test.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -34,10 +40,12 @@ pub mod experiments;
 pub mod oracle;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod shapes;
 pub mod workload;
 
-pub use config::{ExperimentScale, WorkloadCfg};
+pub use config::{Arrival, ExperimentScale, KeyDist, WorkloadCfg};
 pub use report::{results_dir, ExperimentResult, Table};
+pub use scenario::{Cell, Runbook, ThreadSpec};
 pub use shapes::{RunnerMeta, ShapeRecord, ShapesDoc};
 pub use workload::{run_trial, run_trials, TrialResult, TrialSummary};

@@ -275,19 +275,21 @@ pub fn demote_at_millis(a: Assertion, cutoff: u64, millis: u64) -> Assertion {
 /// One experiment's registered paper-shape claims.
 #[derive(Debug, Clone)]
 pub struct Oracle {
-    /// The experiment id this oracle checks (matches the registry).
-    pub experiment: &'static str,
+    /// The experiment id this oracle checks (matches the registry —
+    /// owned, because runbook-generated experiments synthesize their
+    /// oracles at run time).
+    pub experiment: String,
     /// The paper-shape sentence being encoded.
-    pub claim: &'static str,
+    pub claim: String,
     /// The assertions.
     pub assertions: Vec<Assertion>,
 }
 
 impl Oracle {
-    fn new(experiment: &'static str, claim: &'static str) -> Self {
+    fn new(experiment: impl Into<String>, claim: impl Into<String>) -> Self {
         Oracle {
-            experiment,
-            claim,
+            experiment: experiment.into(),
+            claim: claim.into(),
             assertions: Vec::new(),
         }
     }
@@ -531,7 +533,9 @@ fn eval_check(check: &Check, tol: f64, result: &ExperimentResult) -> (bool, Stri
     }
 }
 
-/// One registered oracle per experiment, in registry order. Every id in
+/// One registered oracle per experiment, in registry order: the builtin
+/// catalog below, then one synthesized oracle per runbook-generated
+/// cell (see [`crate::scenario::generated_oracles`]). Every id in
 /// [`crate::experiments::all_experiments`] has exactly one entry here
 /// (enforced by `tests/cli_consistency.rs`).
 pub fn all_oracles() -> Vec<Oracle> {
@@ -548,7 +552,7 @@ pub fn all_oracles() -> Vec<Oracle> {
     let mut g_points = vec![1, 2, scale.mid_threads, scale.max_threads];
     g_points.dedup();
 
-    vec![
+    let mut oracles = vec![
         Oracle::new(
             "fig1_scaling",
             "ABtree+debra flattens while OCCtree keeps scaling; leaking closes the gap but \
@@ -1312,7 +1316,9 @@ pub fn all_oracles() -> Vec<Oracle> {
             .advisory()
             .tol(0.15),
         ),
-    ]
+    ];
+    oracles.extend(crate::scenario::generated_oracles());
+    oracles
 }
 
 /// The oracle for one experiment id.
@@ -1374,8 +1380,8 @@ mod tests {
 
     fn eval_one(a: Assertion, r: &ExperimentResult) -> AssertionOutcome {
         let oracle = Oracle {
-            experiment: "test",
-            claim: "",
+            experiment: "test".into(),
+            claim: "".into(),
             assertions: vec![a],
         };
         evaluate(&oracle, r).outcomes.into_iter().next().unwrap()
@@ -1501,8 +1507,8 @@ mod tests {
         let r = result_with(&[("a", 1.0), ("b", 2.0)], &[]);
         // Strict pass + advisory fail → ADVISORY.
         let oracle = Oracle {
-            experiment: "test",
-            claim: "",
+            experiment: "test".into(),
+            claim: "".into(),
             assertions: vec![
                 ordering("strict ok", "b", "a"),
                 ordering("advisory bad", "a", "b").advisory(),
@@ -1514,8 +1520,8 @@ mod tests {
         assert_eq!(report.advisory_failures(), 1);
         // Strict fail → FAIL.
         let oracle = Oracle {
-            experiment: "test",
-            claim: "",
+            experiment: "test".into(),
+            claim: "".into(),
             assertions: vec![ordering("strict bad", "a", "b")],
         };
         assert_eq!(evaluate(&oracle, &r).verdict(), "FAIL");
@@ -1524,11 +1530,9 @@ mod tests {
     #[test]
     fn every_experiment_has_exactly_one_oracle() {
         let oracles = all_oracles();
-        let experiment_ids: Vec<&str> = crate::experiments::all_experiments()
-            .iter()
-            .map(|e| e.id)
-            .collect();
-        let oracle_ids: Vec<&str> = oracles.iter().map(|o| o.experiment).collect();
+        let experiments = crate::experiments::all_experiments();
+        let experiment_ids: Vec<&str> = experiments.iter().map(|e| e.id.as_str()).collect();
+        let oracle_ids: Vec<&str> = oracles.iter().map(|o| o.experiment.as_str()).collect();
         assert_eq!(
             oracle_ids, experiment_ids,
             "oracle registry must match the experiment registry exactly, in order"

@@ -36,6 +36,15 @@ pub fn results_dir() -> PathBuf {
 pub struct ExperimentResult {
     /// The experiment id (matches the registry).
     pub id: String,
+    /// Provenance hash (32 hex chars) identifying exactly what produced
+    /// this result: experiment identity, runbook source, seed, toolchain,
+    /// git revision, and the effective `EPIC_*` overrides. Stamped by
+    /// [`Experiment::execute`](crate::experiments::Experiment::execute)
+    /// for every run — builtin or runbook-generated — so any row in a
+    /// `SHAPES.json` can be replayed from its hash alone
+    /// (`epic-run replay <hash>`). `None` only for results constructed
+    /// outside the registry (unit tests, ad-hoc drivers).
+    pub provenance: Option<String>,
     metrics: BTreeMap<String, f64>,
     series: BTreeMap<String, Vec<f64>>,
 }
@@ -90,6 +99,10 @@ impl ExperimentResult {
         let mut out = String::new();
         out.push_str("{\n      \"id\": ");
         push_json_str(&mut out, &self.id);
+        if let Some(p) = &self.provenance {
+            out.push_str(",\n      \"provenance\": ");
+            push_json_str(&mut out, p);
+        }
         out.push_str(",\n      \"metrics\": {");
         for (i, (k, v)) in self.metrics.iter().enumerate() {
             if i > 0 {
@@ -358,6 +371,19 @@ mod tests {
         assert!(json.contains("[1.0, null]"));
         assert!(!json.contains("NaN"));
         assert!(!json.contains("inf"));
+        // No provenance stamped => no provenance key at all.
+        assert!(!json.contains("provenance"));
+    }
+
+    #[test]
+    fn experiment_result_json_carries_provenance_when_stamped() {
+        let mut r = ExperimentResult::new("p");
+        r.provenance = Some("deadbeef".repeat(4));
+        let json = r.to_json();
+        assert!(
+            json.contains(&format!("\"provenance\": \"{}\"", "deadbeef".repeat(4))),
+            "{json}"
+        );
     }
 
     #[test]

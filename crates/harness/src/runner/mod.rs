@@ -67,34 +67,34 @@ pub fn fnv1a(s: &str) -> u64 {
 ///   evenly (the hash only tie-breaks equal costs),
 /// * the same binary always produces the same shards — CI matrix jobs
 ///   and big-box invocations can compute them independently.
-pub fn partition(n: usize) -> Vec<Vec<&'static str>> {
+pub fn partition(n: usize) -> Vec<Vec<String>> {
     assert!(n >= 1, "shard count must be >= 1");
     let mut entries = all_experiments();
     entries.sort_by(|a, b| {
         b.cost
             .cmp(&a.cost)
-            .then(fnv1a(a.id).cmp(&fnv1a(b.id)))
-            .then(a.id.cmp(b.id))
+            .then(fnv1a(&a.id).cmp(&fnv1a(&b.id)))
+            .then(a.id.cmp(&b.id))
     });
     let mut shards = vec![Vec::new(); n];
-    for (i, e) in entries.iter().enumerate() {
+    for (i, e) in entries.into_iter().enumerate() {
         let (round, pos) = (i / n, i % n);
         let s = if round % 2 == 0 { pos } else { n - 1 - pos };
         shards[s].push(e.id);
     }
-    let order: std::collections::HashMap<&str, usize> = all_experiments()
-        .iter()
+    let order: std::collections::HashMap<String, usize> = all_experiments()
+        .into_iter()
         .enumerate()
         .map(|(i, e)| (e.id, i))
         .collect();
     for shard in &mut shards {
-        shard.sort_by_key(|id| order[id]);
+        shard.sort_by_key(|id| order[id.as_str()]);
     }
     shards
 }
 
 /// The id set of shard `k` of `n` (`k` is 1-based, as on the CLI).
-pub fn shard_members(k: usize, n: usize) -> HashSet<&'static str> {
+pub fn shard_members(k: usize, n: usize) -> HashSet<String> {
     assert!(k >= 1 && k <= n, "shard index {k} out of 1..={n}");
     partition(n).swap_remove(k - 1).into_iter().collect()
 }
@@ -283,8 +283,8 @@ pub fn run_parallel(
         }
         std::thread::sleep(Duration::from_millis(25));
     }
-    let order: std::collections::HashMap<&str, usize> = all_experiments()
-        .iter()
+    let order: std::collections::HashMap<String, usize> = all_experiments()
+        .into_iter()
         .enumerate()
         .map(|(i, e)| (e.id, i))
         .collect();
@@ -319,14 +319,17 @@ mod tests {
 
     #[test]
     fn partition_covers_every_id_exactly_once() {
-        let all: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        let all: Vec<String> = all_experiments().into_iter().map(|e| e.id).collect();
         for n in [1, 2, 3, 5, 31, 64] {
             let shards = partition(n);
             assert_eq!(shards.len(), n);
             let mut seen = HashSet::new();
             for shard in &shards {
                 for id in shard {
-                    assert!(seen.insert(*id), "{id} assigned to two shards (n={n})");
+                    assert!(
+                        seen.insert(id.clone()),
+                        "{id} assigned to two shards (n={n})"
+                    );
                 }
             }
             assert_eq!(seen.len(), all.len(), "n={n} dropped ids");
@@ -335,7 +338,7 @@ mod tests {
 
     #[test]
     fn shard_1_of_1_is_the_full_registry_in_order() {
-        let all: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+        let all: Vec<String> = all_experiments().into_iter().map(|e| e.id).collect();
         assert_eq!(partition(1), vec![all]);
     }
 
@@ -350,10 +353,10 @@ mod tests {
             assert!(max - min <= 1, "unbalanced shard sizes {sizes:?} (n={n})");
             // Cost balance: serpentine dealing keeps every shard within
             // ~one heavy experiment of the mean.
-            let cost_of = |ids: &Vec<&str>| -> u64 {
+            let cost_of = |ids: &Vec<String>| -> u64 {
                 let reg = all_experiments();
                 ids.iter()
-                    .map(|id| u64::from(reg.iter().find(|e| e.id == *id).unwrap().cost))
+                    .map(|id| u64::from(reg.iter().find(|e| &e.id == id).unwrap().cost))
                     .sum()
             };
             let costs: Vec<u64> = a.iter().map(cost_of).collect();
@@ -371,7 +374,7 @@ mod tests {
         let shards = partition(3);
         for (i, shard) in shards.iter().enumerate() {
             let members = shard_members(i + 1, 3);
-            assert_eq!(members, shard.iter().copied().collect::<HashSet<_>>());
+            assert_eq!(members, shard.iter().cloned().collect::<HashSet<_>>());
         }
     }
 

@@ -265,8 +265,8 @@ impl ShapesDoc {
                 records.push(rec);
             }
         }
-        let order: std::collections::HashMap<&str, usize> = crate::experiments::all_experiments()
-            .iter()
+        let order: std::collections::HashMap<String, usize> = crate::experiments::all_experiments()
+            .into_iter()
             .enumerate()
             .map(|(i, e)| (e.id, i))
             .collect();
@@ -307,8 +307,8 @@ mod tests {
         result.metric("b", 2.0);
         let (g, l) = if strict_pass { ("b", "a") } else { ("a", "b") };
         let oracle = Oracle {
-            experiment: "x",
-            claim: "demo claim with \"quotes\"",
+            experiment: "x".into(),
+            claim: "demo claim with \"quotes\"".into(),
             assertions: vec![
                 ordering("strict one", g, l),
                 ordering("advisory one", "a", "b").advisory(),
@@ -440,8 +440,8 @@ mod tests {
         result.metric("a", f64::NAN);
         result.metric("b", 2.0);
         let oracle = Oracle {
-            experiment: "test",
-            claim: "quote \" and backslash \\",
+            experiment: "test".into(),
+            claim: "quote \" and backslash \\".into(),
             assertions: vec![ordering("b over a", "b", "a")],
         };
         let report = evaluate(&oracle, &result);

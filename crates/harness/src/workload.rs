@@ -1,13 +1,13 @@
 //! The trial driver: prefill to steady state, run the 50/50 workload,
 //! collect every metric the figures need.
 
-use crate::config::WorkloadCfg;
+use crate::config::{Arrival, KeyDist, WorkloadCfg};
 use epic_alloc::{build_allocator_with, AllocSnapshot};
 use epic_ds::{build_tree, ConcurrentMap};
 use epic_smr::{build_smr, SmrConfig, SmrSnapshot};
 use epic_timeline::{Recorder, Series};
 use epic_util::stats::SampleStats;
-use epic_util::{Clock, XorShift64};
+use epic_util::{Clock, XorShift64, Zipfian};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -112,12 +112,24 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
             let update_ratio = cfg.update_ratio;
             let stall = cfg.stall;
             let op_budget = cfg.op_budget;
+            let seed = cfg.seed;
+            let key_dist = cfg.key_dist;
+            let arrival = cfg.arrival;
+            let churn_every = cfg.churn_every_ops;
             scope.spawn(move || {
-                // One registration per worker: the handle caches the
-                // scheme's per-thread hot state for the whole trial.
-                let handle = tree.smr().register(tid);
-                let mut rng = XorShift64::new((tid as u64 + 1) * 0x9E37_79B9 + 12345);
+                // One registration per worker (re-done under churn): the
+                // handle caches the scheme's per-thread hot state.
+                let mut handle = tree.smr().register(tid);
+                // seed = 0 reproduces the pre-scenario per-thread stream
+                // bit for bit (XOR with 0 is the identity).
+                let mut rng = XorShift64::new(seed ^ ((tid as u64 + 1) * 0x9E37_79B9 + 12345));
+                let zipf = match key_dist {
+                    KeyDist::Uniform => None,
+                    KeyDist::Zipf { theta } => Some(Zipfian::new(key_range, theta)),
+                };
                 let mut ops = 0u64;
+                let mut ops_since_churn = 0u64;
+                let mut ops_in_burst = 0u64;
                 let mut next_stall_ns =
                     stall.map(|(every_ms, _)| epic_util::now_ns() + every_ms * 1_000_000);
                 while !stop.load(Ordering::Relaxed) {
@@ -134,9 +146,13 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
                             }
                         }
                     }
-                    // The paper's inner loop: coin flip, uniform key.
+                    // The paper's inner loop: coin flip, uniform key —
+                    // or the scenario layer's skewed variant.
                     for _ in 0..64 {
-                        let key = rng.next_bounded(key_range);
+                        let key = match &zipf {
+                            None => rng.next_bounded(key_range),
+                            Some(z) => z.next_key(&mut rng),
+                        };
                         let uniform = (rng.next_u64() >> 11) as f64 / 9_007_199_254_740_992.0;
                         let is_update = update_ratio >= 1.0 || uniform < update_ratio;
                         if !is_update {
@@ -148,8 +164,31 @@ pub fn run_trial(cfg: &WorkloadCfg) -> TrialResult {
                         }
                         ops += 1;
                     }
+                    ops_since_churn += 64;
+                    ops_in_burst += 64;
+                    // Handle churn: leave the workload for good (detach —
+                    // permanent quiescence, ring removal) and come back as
+                    // a fresh registration of the same tid. All the churn
+                    // happens *between* operations; guards never outlive
+                    // their handle.
+                    if let Some(every) = churn_every {
+                        if ops_since_churn >= every {
+                            ops_since_churn = 0;
+                            handle.detach();
+                            handle = tree.smr().register(tid);
+                        }
+                    }
                     if op_budget.is_some_and(|budget| ops >= budget) {
                         break;
+                    }
+                    // Bursty arrival: duty-cycle on op counts (not timers)
+                    // so budgeted trials stay deterministic — the idle gap
+                    // changes wall-clock, never the op/retire stream.
+                    if let Arrival::Bursty { on_ops, off_micros } = arrival {
+                        if ops_in_burst >= on_ops {
+                            ops_in_burst = 0;
+                            thread::sleep(Duration::from_micros(off_micros));
+                        }
                     }
                 }
                 handle.detach();
@@ -351,6 +390,70 @@ mod tests {
         assert_eq!(a.smr.batches, b.smr.batches, "batch counts diverged");
         assert_eq!(a.smr.epochs, b.smr.epochs, "epoch counts diverged");
         assert_eq!(a.smr.garbage, b.smr.garbage, "garbage gauges diverged");
+        assert_eq!(
+            a.alloc.totals.allocs, b.alloc.totals.allocs,
+            "allocator alloc counters diverged"
+        );
+        assert_eq!(
+            a.alloc.totals.deallocs, b.alloc.totals.deallocs,
+            "allocator dealloc counters diverged"
+        );
+    }
+
+    #[test]
+    fn zipf_trial_completes_and_retires() {
+        let mut cfg = quick(TreeKind::Ab, SmrKind::Debra);
+        cfg = cfg.with_key_dist(KeyDist::Zipf { theta: 0.9 });
+        let r = run_trial(&cfg);
+        assert!(r.ops > 0, "skewed trial must make progress");
+        assert!(r.smr.retired > 0, "hot keys still churn nodes");
+    }
+
+    #[test]
+    fn bursty_arrival_still_completes_budget() {
+        let cfg = quick(TreeKind::Ab, SmrKind::Debra)
+            .with_op_budget(1024)
+            .with_arrival(Arrival::Bursty {
+                on_ops: 256,
+                off_micros: 50,
+            });
+        let r = run_trial(&cfg);
+        // The duty cycle stretches wall-clock but never eats ops.
+        assert_eq!(r.ops, 1024 * cfg.threads as u64);
+    }
+
+    #[test]
+    fn churn_trial_detaches_and_reattaches() {
+        let cfg = quick(TreeKind::Ab, SmrKind::Debra)
+            .with_op_budget(2048)
+            .with_churn(512);
+        let r = run_trial(&cfg);
+        // 4 detach/re-register cycles per thread, all mid-run, and the
+        // budget still lands exactly.
+        assert_eq!(r.ops, 2048 * cfg.threads as u64);
+        assert!(r.smr.retired > 0);
+    }
+
+    /// The determinism contract that replay-from-provenance relies on
+    /// must survive every scenario knob at once: skewed keys, churn and
+    /// an explicit seed.
+    #[test]
+    fn budgeted_determinism_holds_under_scenario_knobs() {
+        let mk = || {
+            let mut cfg = WorkloadCfg::new(TreeKind::Ab, SmrKind::Debra, 1)
+                .with_op_budget(4096)
+                .with_seed(0xBADC_0FFE)
+                .with_key_dist(KeyDist::Zipf { theta: 0.75 })
+                .with_churn(1024);
+            cfg.key_range = 512;
+            cfg.bag_cap = 64;
+            cfg
+        };
+        let a = run_trial(&mk());
+        let b = run_trial(&mk());
+        assert_eq!(a.ops, b.ops, "op counts diverged");
+        assert_eq!(a.smr.retired, b.smr.retired, "retire counters diverged");
+        assert_eq!(a.smr.freed, b.smr.freed, "free counters diverged");
         assert_eq!(
             a.alloc.totals.allocs, b.alloc.totals.allocs,
             "allocator alloc counters diverged"

@@ -56,15 +56,16 @@ fn listed_ids(out: &Output) -> Vec<String> {
         .skip(1)
         .map(str::trim)
         .filter(|l| !l.is_empty())
+        .filter_map(|l| l.split_whitespace().next())
         .map(str::to_string)
         .collect()
 }
 
 #[test]
 fn experiment_ids_are_unique_and_nonempty() {
-    let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+    let ids: Vec<String> = all_experiments().into_iter().map(|e| e.id).collect();
     assert!(!ids.is_empty(), "registry must not be empty");
-    let set: HashSet<&str> = ids.iter().copied().collect();
+    let set: HashSet<&String> = ids.iter().collect();
     assert_eq!(set.len(), ids.len(), "duplicate experiment id in registry");
     for id in &ids {
         assert!(
@@ -80,7 +81,7 @@ fn epic_run_list_matches_registry() {
     let out = epic_run(&["list"]);
     assert!(out.status.success(), "epic-run list failed: {out:?}");
     let listed = listed_ids(&out);
-    let registry: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+    let registry: Vec<String> = all_experiments().into_iter().map(|e| e.id).collect();
     assert_eq!(
         listed, registry,
         "CLI list output diverged from all_experiments()"
@@ -91,7 +92,7 @@ fn epic_run_list_matches_registry() {
 /// union equals the full list, each shard in registry order.
 #[test]
 fn epic_run_list_shards_partition_the_registry() {
-    let registry: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+    let registry: Vec<String> = all_experiments().into_iter().map(|e| e.id).collect();
     let mut seen: Vec<String> = Vec::new();
     for shard in ["1/3", "2/3", "3/3"] {
         let out = epic_run(&["list", "--shard", shard]);
@@ -145,8 +146,10 @@ fn epic_run_rejects_unknown_experiment_and_lists_valid_ids() {
 /// registry no longer knows.
 #[test]
 fn oracle_registry_matches_experiment_registry() {
-    let experiment_ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-    let oracle_ids: Vec<&str> = all_oracles().iter().map(|o| o.experiment).collect();
+    let experiments = all_experiments();
+    let experiment_ids: Vec<&str> = experiments.iter().map(|e| e.id.as_str()).collect();
+    let oracles = all_oracles();
+    let oracle_ids: Vec<&str> = oracles.iter().map(|o| o.experiment.as_str()).collect();
     assert_eq!(
         oracle_ids, experiment_ids,
         "oracle registry diverged from all_experiments()"

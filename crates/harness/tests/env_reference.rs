@@ -1,0 +1,114 @@
+//! Pins the README "Environment reference" table to the source tree:
+//! every `EPIC_*` variable the workspace reads must have a row, and
+//! every row must correspond to a variable that is still read somewhere.
+//! Adding a knob without documenting it (or documenting a knob that no
+//! longer exists) fails this test.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+/// Extracts `EPIC_[A-Z0-9_]+` tokens from `text` (trailing underscores
+/// trimmed — they are prefix fragments like `"EPIC_TEST_"`).
+fn epic_tokens(text: &str, into: &mut BTreeSet<String>) {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find("EPIC_") {
+        let start = i + pos;
+        let mut end = start;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        let token = text[start..end].trim_end_matches('_');
+        if token.len() > "EPIC".len() {
+            into.insert(token.to_string());
+        }
+        i = end;
+    }
+}
+
+fn rs_files(dir: &Path, into: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable dir").flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rs_files(&path, into);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            into.push(path);
+        }
+    }
+}
+
+/// Variables that are deliberately undocumented: test-only probes and
+/// the prefix fragment the provenance code matches on. Everything else
+/// the source reads belongs in the README table.
+fn is_internal(name: &str) -> bool {
+    name.starts_with("EPIC_TEST")
+        || name == "EPIC_CHECK" // prefix fragment in a diagnostic string
+        || name == "EPIC_DOES_NOT_EXIST_XYZ" // topology negative-test probe
+        || name == "EPIC_PROV_PROBE" // provenance unit-test probe
+}
+
+#[test]
+fn readme_environment_reference_is_complete_and_current() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    rs_files(&root.join("crates"), &mut files);
+    rs_files(&root.join("vendor"), &mut files);
+    rs_files(&root.join("tests"), &mut files);
+    let mut in_source = BTreeSet::new();
+    for f in &files {
+        epic_tokens(
+            &std::fs::read_to_string(f).expect("readable source"),
+            &mut in_source,
+        );
+    }
+    in_source.retain(|n| !is_internal(n));
+    assert!(
+        in_source.contains("EPIC_MILLIS") && in_source.contains("EPIC_RUNBOOK"),
+        "source scan is broken: {in_source:?}"
+    );
+
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    let table = readme
+        .split("## Environment reference")
+        .nth(1)
+        .expect("README must keep the '## Environment reference' section")
+        .split("\n## ")
+        .next()
+        .unwrap();
+    let mut in_table = BTreeSet::new();
+    for line in table.lines().filter(|l| l.starts_with("| `EPIC_")) {
+        epic_tokens(line, &mut in_table);
+        // Rows must link the owning module (a path into the tree).
+        assert!(
+            line.contains("crates/") || line.contains("vendor/"),
+            "row must name its owning module: {line}"
+        );
+    }
+
+    let undocumented: Vec<&String> = in_source.difference(&in_table).collect();
+    assert!(
+        undocumented.is_empty(),
+        "EPIC_* variables read in source but missing from the README \
+         'Environment reference' table: {undocumented:?}"
+    );
+    let stale: Vec<&String> = in_table.difference(&in_source).collect();
+    assert!(
+        stale.is_empty(),
+        "README 'Environment reference' rows with no matching read in \
+         the source tree: {stale:?}"
+    );
+}

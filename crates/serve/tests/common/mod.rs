@@ -57,26 +57,41 @@ impl Daemon {
     /// and waits for the port file. `tag` keeps port files of
     /// sequential daemons in one dir apart.
     pub fn start(dir: &Path, tag: &str, slots: usize, millis: &str) -> Daemon {
+        Daemon::start_with_env(dir, tag, slots, millis, &[])
+    }
+
+    /// [`Daemon::start`] with extra environment variables (e.g.
+    /// `EPIC_RUNBOOK` so the daemon's registry includes generated
+    /// scenario cells — worker children inherit the same env).
+    pub fn start_with_env(
+        dir: &Path,
+        tag: &str,
+        slots: usize,
+        millis: &str,
+        env: &[(&str, &str)],
+    ) -> Daemon {
         let port_file = dir.join(format!("port-{tag}"));
         let _ = std::fs::remove_file(&port_file);
-        let child = Command::new(env!("CARGO_BIN_EXE_epic-serve"))
-            .args([
-                "--port",
-                "0",
-                "--port-file",
-                port_file.to_str().unwrap(),
-                "--epic-run",
-                epic_run_path().to_str().unwrap(),
-                "-j",
-                &slots.to_string(),
-            ])
-            .env("EPIC_RESULTS", dir)
-            .env("EPIC_MILLIS", millis)
-            .env("EPIC_TRIALS", "1")
-            .stdout(Stdio::null())
-            .stderr(Stdio::inherit())
-            .spawn()
-            .expect("spawn epic-serve");
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_epic-serve"));
+        cmd.args([
+            "--port",
+            "0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--epic-run",
+            epic_run_path().to_str().unwrap(),
+            "-j",
+            &slots.to_string(),
+        ])
+        .env("EPIC_RESULTS", dir)
+        .env("EPIC_MILLIS", millis)
+        .env("EPIC_TRIALS", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+        for (k, v) in env {
+            cmd.env(k, v);
+        }
+        let child = cmd.spawn().expect("spawn epic-serve");
         let deadline = Instant::now() + Duration::from_secs(30);
         let port = loop {
             if let Ok(text) = std::fs::read_to_string(&port_file) {

@@ -19,7 +19,9 @@ fn eight_jobs_metrics_dashboard_and_graceful_shutdown() {
     // job id). Pick real registry ids so the daemon-side validation and
     // the child-side registry agree.
     let registry = epic_harness::experiments::all_experiments();
-    let ids: Vec<&str> = (0..8).map(|i| registry[i % registry.len()].id).collect();
+    let ids: Vec<&str> = (0..8)
+        .map(|i| registry[i % registry.len()].id.as_str())
+        .collect();
     for (i, id) in ids.iter().enumerate() {
         let (status, body) = daemon.request(
             "POST",

@@ -1,0 +1,77 @@
+//! Runbook-generated scenario cells as daemon jobs: a daemon started
+//! with `EPIC_RUNBOOK` accepts `sc_*` ids over HTTP, its worker
+//! children (which inherit the env) resolve the same registry, and the
+//! completed job's result row carries the provenance hash. Without the
+//! runbook the same id is a 400 — the daemon validates against its own
+//! registry, never blindly trusts the caller.
+
+mod common;
+
+use common::{job_states, poll_jobs, Daemon};
+use epic_harness::shapes::ShapesDoc;
+use epic_util::json::Json;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn smoke_runbook() -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../runbooks/smoke.json")
+        .canonicalize()
+        .expect("runbooks/smoke.json")
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+#[test]
+fn runbook_cells_submit_run_and_stamp_provenance() {
+    let dir = common::scratch_dir("scenario");
+    let rb = smoke_runbook();
+    let daemon = Daemon::start_with_env(&dir, "rb", 2, "20", &[("EPIC_RUNBOOK", &rb)]);
+
+    let cell = "sc_churn_rcu_abtree_je_t2_u_c1024";
+    let (status, body) = daemon.request(
+        "POST",
+        "/jobs",
+        Some(&format!("{{\"experiment\": \"{cell}\"}}")),
+    );
+    assert_eq!(status, 202, "generated cell must be accepted: {body}");
+
+    let done = poll_jobs(
+        &daemon,
+        Duration::from_secs(120),
+        "scenario job done",
+        |v| {
+            let states = job_states(v);
+            states.len() == 1 && states.iter().all(|(s, _)| s == "done" || s == "failed")
+        },
+    );
+    let job = &done.get("jobs").and_then(Json::as_arr).unwrap()[0];
+    assert_eq!(job.get("experiment").and_then(Json::as_str), Some(cell));
+    let path = job
+        .get("result_path")
+        .and_then(Json::as_str)
+        .expect("result_path");
+    let doc = ShapesDoc::parse(&std::fs::read_to_string(path).expect("result file"))
+        .expect("epic-shapes-v2");
+    assert_eq!(doc.records.len(), 1);
+    assert_eq!(doc.records[0].report.experiment, cell);
+    let result = Json::parse(&doc.records[0].result_json).expect("result json");
+    let prov = result
+        .get("provenance")
+        .and_then(Json::as_str)
+        .expect("served results carry the provenance hash");
+    assert_eq!(prov.len(), 32, "32 hex chars: {prov}");
+    daemon.shutdown_and_wait();
+
+    // Same id without the runbook: the registry has no such entry.
+    let daemon = Daemon::start(&dir, "norb", 1, "20");
+    let (status, body) = daemon.request(
+        "POST",
+        "/jobs",
+        Some(&format!("{{\"experiment\": \"{cell}\"}}")),
+    );
+    assert_eq!(status, 400, "cell without runbook must be rejected: {body}");
+    daemon.shutdown_and_wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

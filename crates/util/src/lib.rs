@@ -26,7 +26,7 @@ pub use backoff::Backoff;
 pub use cache_padded::CachePadded;
 pub use json::Json;
 pub use locks::{SeqLock, TicketLock};
-pub use rng::{SplitMix64, XorShift64};
+pub use rng::{SplitMix64, XorShift64, Zipfian};
 pub use stats::{LogHistogram, OnlineStats};
 pub use tidslots::TidSlots;
 pub use timeutil::{busy_spin_ns, now_ns, Clock};

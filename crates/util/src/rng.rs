@@ -80,6 +80,79 @@ impl XorShift64 {
     }
 }
 
+/// A Zipfian key generator over `[0, n)` with skew parameter `theta`
+/// (0 = uniform-ish, 0.99 = the YCSB default hot-spot workload).
+///
+/// Implements the Gray et al. "Quickly generating billion-record
+/// synthetic databases" (SIGMOD 1994) closed-form sampler: the zeta
+/// constants are computed once in `new` (O(n)), after which each draw
+/// costs two `powf` calls and no rejection loop — deterministic given
+/// the caller's RNG stream, which is what the scenario engine's
+/// replay-from-provenance contract needs.
+///
+/// The *rank* is Zipf-distributed; ranks are scattered over the key
+/// space by a fixed multiplicative hash so the hot keys are not all
+/// adjacent in tree order (adjacent hot keys would measure node-level
+/// contention, not skew).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Prepares a sampler for `n` items with skew `theta`.
+    ///
+    /// # Panics
+    /// If `n == 0`, or `theta` is not in `[0, 1)` (theta = 1 diverges).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipfian over an empty domain");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "zipf theta must be in [0, 1), got {theta}"
+        );
+        let zeta = |count: u64| -> f64 { (1..=count).map(|i| 1.0 / (i as f64).powf(theta)).sum() };
+        let zetan = zeta(n);
+        let zeta2 = zeta(2.min(n));
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    /// Draws the next Zipf-distributed *rank* in `[0, n)` (0 = hottest).
+    pub fn next_rank(&self, rng: &mut XorShift64) -> u64 {
+        // 53-bit uniform in [0, 1) — same construction the workload
+        // driver uses for its update-ratio coin.
+        let u = (rng.next_u64() >> 11) as f64 / 9_007_199_254_740_992.0;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Draws the next key in `[0, n)`: the Zipf rank scattered over the
+    /// domain by a fixed odd-multiplier hash, so hot keys spread across
+    /// the structure instead of clustering at one end.
+    pub fn next_key(&self, rng: &mut XorShift64) -> u64 {
+        let rank = self.next_rank(rng);
+        // Multiplicative scatter, then Lemire-style reduction into [0, n).
+        let mixed = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (rank >> 3);
+        ((u128::from(mixed) * u128::from(self.n)) >> 64) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +203,69 @@ mod tests {
         let mut b = XorShift64::new(2);
         let matches = (0..1_000).filter(|_| a.next_u64() == b.next_u64()).count();
         assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn zipf_stays_in_range_and_skews() {
+        let z = Zipfian::new(1000, 0.99);
+        let mut rng = XorShift64::new(7);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            let r = z.next_rank(&mut rng);
+            assert!(r < 1000);
+            counts[r as usize] += 1;
+        }
+        // At theta 0.99 rank 0 takes a large constant share; the tail half
+        // together gets far less than the single hottest rank.
+        let tail: u32 = counts[500..].iter().sum();
+        assert!(
+            counts[0] > tail,
+            "rank 0 ({}) should dominate the cold half ({tail})",
+            counts[0]
+        );
+        // Monotone-ish: the top rank beats rank 10 beats rank 100.
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[100]);
+    }
+
+    #[test]
+    fn zipf_low_theta_is_near_uniform() {
+        let z = Zipfian::new(100, 0.0);
+        let mut rng = XorShift64::new(11);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.next_rank(&mut rng) as usize] += 1;
+        }
+        // Every rank appears, and no rank takes more than a few percent.
+        assert!(counts.iter().all(|&c| c > 0));
+        assert!(*counts.iter().max().unwrap() < 5_000);
+    }
+
+    #[test]
+    fn zipf_keys_scatter_and_stay_in_range() {
+        let z = Zipfian::new(512, 0.9);
+        let mut rng = XorShift64::new(3);
+        let keys: Vec<u64> = (0..1_000).map(|_| z.next_key(&mut rng)).collect();
+        assert!(keys.iter().all(|&k| k < 512));
+        // The hottest scattered key must not be key 0 or 511 by construction
+        // alone; what matters is that both halves of the domain are hit.
+        assert!(keys.iter().any(|&k| k < 256));
+        assert!(keys.iter().any(|&k| k >= 256));
+    }
+
+    #[test]
+    fn zipf_is_deterministic_for_a_fixed_seed() {
+        let z = Zipfian::new(4096, 0.75);
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..1_000 {
+            assert_eq!(z.next_key(&mut a), z.next_key(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf theta")]
+    fn zipf_rejects_theta_one() {
+        let _ = Zipfian::new(10, 1.0);
     }
 }

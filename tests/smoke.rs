@@ -83,7 +83,8 @@ fn run_by_name_agrees_with_registry() {
     // an experiment is the harness crate's own tests' job — here we only
     // check the lookup path the CLI depends on.)
     assert!(run_by_name("definitely_not_an_experiment").is_none());
-    let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
+    let registry = all_experiments();
+    let ids: Vec<&str> = registry.iter().map(|e| e.id.as_str()).collect();
     assert!(ids.contains(&"fig11a_experiment1"));
     assert!(ids.contains(&"fig11b_experiment2"));
 }
